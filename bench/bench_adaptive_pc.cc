@@ -1,0 +1,51 @@
+// A4 (ablation) — fixed vs density-adaptive head election:
+// the fixed-pc head count grows linearly with N (so the per-
+// neighbourhood head density grows too), while the adaptive rule
+// p = min(1, k / hellos_heard) keeps heads-per-neighbourhood roughly
+// constant — fewer heads in dense networks, cheaper epochs at equal
+// accuracy. This is the iPDA-family adaptation (their Eq. (1)/(2))
+// transplanted to cluster election.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/icpda.h"
+#include "sim/metrics.h"
+
+int main() {
+  using namespace icpda;
+  bench::print_header("A4: fixed pc=0.3 vs adaptive k=2 head election",
+                      "N\tmode\theads\tmean_cluster\taccuracy\tbytes");
+  const auto keys = bench::default_keys();
+  std::size_t row = 0;
+  for (const std::size_t n : {200u, 400u, 600u}) {
+    for (const bool adaptive : {false, true}) {
+      sim::RunningStats heads;
+      sim::RunningStats acc;
+      sim::RunningStats bytes;
+      sim::RunningStats cluster_mean;
+      for (int t = 0; t < bench::trials(); ++t) {
+        net::Network network(bench::paper_network(
+            n, bench::run_seed(14, row, static_cast<std::uint64_t>(t))));
+        core::IcpdaConfig cfg;
+        cfg.adaptive_pc = adaptive;
+        const auto out =
+            core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+        heads.add(out.heads);
+        if (out.result) acc.add(out.result->count / static_cast<double>(n - 1));
+        bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
+        double total = 0;
+        double clusters = 0;
+        for (const auto& [size, count] : out.cluster_sizes) {
+          total += static_cast<double>(size) * count;
+          clusters += count;
+        }
+        if (clusters > 0) cluster_mean.add(total / clusters);
+      }
+      std::printf("%zu\t%s\t%.1f\t%.2f\t%.3f\t%.0f\n", n,
+                  adaptive ? "adaptive" : "fixed", heads.mean(), cluster_mean.mean(),
+                  acc.mean(), bytes.mean());
+      ++row;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// F2 — communication overhead (total on-air bytes, including MAC ACKs
+// and retransmissions) vs network size, for TAG / SMART / iCPDA —
+// the paper's bandwidth-consumption figure.
+#include <cstdio>
+
+#include "baselines/smart.h"
+#include "baselines/tag.h"
+#include "bench/bench_util.h"
+#include "core/icpda.h"
+#include "sim/metrics.h"
+
+int main() {
+  using namespace icpda;
+  bench::print_header("F2: total on-air bytes vs network size",
+                      "N\ttag_bytes\tsmart_bytes\ticpda_bytes\ticpda/tag");
+  const auto keys = bench::default_keys();
+  std::size_t row = 0;
+  for (const std::size_t n : bench::paper_sizes()) {
+    sim::RunningStats tag_bytes;
+    sim::RunningStats smart_bytes;
+    sim::RunningStats icpda_bytes;
+    for (int t = 0; t < bench::trials(); ++t) {
+      const auto seed = bench::run_seed(4, row, static_cast<std::uint64_t>(t));
+      {
+        net::Network network(bench::paper_network(n, seed));
+        baselines::TagConfig cfg;
+        baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
+        tag_bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
+      }
+      {
+        net::Network network(bench::paper_network(n, seed));
+        baselines::SmartConfig cfg;
+        baselines::run_smart_epoch(network, cfg, proto::constant_reading(1.0), keys);
+        smart_bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
+      }
+      {
+        net::Network network(bench::paper_network(n, seed));
+        core::IcpdaConfig cfg;
+        core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+        icpda_bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
+      }
+    }
+    std::printf("%zu\t%.0f\t%.0f\t%.0f\t%.2f\n", n, tag_bytes.mean(), smart_bytes.mean(),
+                icpda_bytes.mean(), icpda_bytes.mean() / tag_bytes.mean());
+    ++row;
+  }
+  return 0;
+}

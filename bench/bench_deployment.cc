@@ -1,0 +1,31 @@
+// T1 — Network size vs network density (the paper family's Table I).
+// Columns: measured average degree over random deployments, the
+// unclipped-disc model, and the border-corrected model.
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "bench/bench_util.h"
+#include "net/topology.h"
+#include "sim/metrics.h"
+
+int main() {
+  using namespace icpda;
+  bench::print_header("T1: network size vs average node degree (400x400 m, r=50 m)",
+                      "N\tdegree_sim\tsem\tmodel_unclipped\tmodel_border\tpaper");
+  const double paper[] = {8.8, 13.7, 18.6, 23.5, 28.4};
+  const net::Field field(400, 400);
+  std::size_t row = 0;
+  for (const std::size_t n : bench::paper_sizes()) {
+    sim::RunningStats deg;
+    for (int t = 0; t < 4 * bench::trials(); ++t) {
+      sim::Rng rng(bench::run_seed(1, row, static_cast<std::uint64_t>(t)));
+      deg.add(net::make_random_topology(field, n, 50.0, rng, false).average_degree());
+    }
+    std::printf("%zu\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\n", n, deg.mean(), deg.sem(),
+                analysis::expected_degree(field, n, 50.0),
+                analysis::expected_degree_border_corrected(field, n, 50.0),
+                paper[row]);
+    ++row;
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// F8 [reconstructed] — aggregation latency (query issue to epoch
+// close at the base station) vs network size, TAG vs iCPDA. iCPDA
+// pays the fixed Phase I/II budget on top of the depth-scheduled
+// ascent.
+#include <cstdio>
+
+#include "baselines/tag.h"
+#include "bench/bench_util.h"
+#include "core/icpda.h"
+#include "sim/metrics.h"
+
+int main() {
+  using namespace icpda;
+  bench::print_header("F8: aggregation latency vs network size (seconds, simulated)",
+                      "N\ttag_latency\ticpda_latency\ticpda_extra");
+  const auto keys = bench::default_keys();
+  std::size_t row = 0;
+  for (const std::size_t n : bench::paper_sizes()) {
+    sim::RunningStats tag_lat;
+    sim::RunningStats icpda_lat;
+    for (int t = 0; t < bench::trials(); ++t) {
+      const auto seed = bench::run_seed(10, row, static_cast<std::uint64_t>(t));
+      {
+        net::Network network(bench::paper_network(n, seed));
+        baselines::TagConfig cfg;
+        const auto out = baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
+        tag_lat.add(out.closed_at.seconds());
+      }
+      {
+        net::Network network(bench::paper_network(n, seed));
+        core::IcpdaConfig cfg;
+        const auto out =
+            core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+        icpda_lat.add(out.closed_at.seconds());
+      }
+    }
+    std::printf("%zu\t%.2f\t%.2f\t%.2f\n", n, tag_lat.mean(), icpda_lat.mean(),
+                icpda_lat.mean() - tag_lat.mean());
+    ++row;
+  }
+  return 0;
+}

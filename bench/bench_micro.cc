@@ -1,0 +1,85 @@
+// Micro-benchmarks (google-benchmark): the hot kernels a deployment
+// would care about — share generation / interpolation, sealing,
+// PRF throughput, scheduler and topology construction.
+#include <benchmark/benchmark.h>
+
+#include "core/cpda_algebra.h"
+#include "crypto/cipher.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace icpda;
+
+void BM_MakeShares(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  const auto seeds = core::default_seeds(m);
+  const auto value = proto::Aggregate::of(23.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_shares(value, seeds, rng));
+  }
+}
+BENCHMARK(BM_MakeShares)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_SolveClusterSum(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(2);
+  const auto seeds = core::default_seeds(m);
+  std::vector<proto::Aggregate> assembled(m);
+  for (auto& a : assembled) a = proto::Aggregate::of(rng.uniform(0.0, 50.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_cluster_sum(seeds, assembled));
+  }
+}
+BENCHMARK(BM_SolveClusterSum)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_SealOpen(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const auto key = crypto::Key::from_seed(7);
+  const crypto::Bytes plain(bytes, 0x5A);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    const auto sealed = crypto::seal(key, ++nonce, plain);
+    benchmark::DoNotOptimize(crypto::open(key, sealed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_SealOpen)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_Prf64(benchmark::State& state) {
+  const auto key = crypto::Key::from_seed(9);
+  const crypto::Bytes msg(64, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::prf64(key, msg));
+  }
+}
+BENCHMARK(BM_Prf64);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.after(sim::micros(i % 97 + 1), [] {});
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const net::Field field(400, 400);
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::make_random_topology(field, n, 50.0, rng));
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Arg(200)->Arg(600)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// A1 (ablation) — the pc trade-off: head probability vs coverage,
+// accuracy, bandwidth and privacy degradation. Small pc = big clusters
+// (cheap, better privacy, more Phase II fragility); large pc = many
+// tiny clusters (expensive, degraded privacy).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/icpda.h"
+#include "sim/metrics.h"
+
+int main() {
+  using namespace icpda;
+  bench::print_header(
+      "A1: pc sweep (N=400)",
+      "pc\taccuracy\tbytes\tdegraded_privacy_nodes\tfailed_clusters\tunclustered");
+  const auto keys = bench::default_keys();
+  const double pcs[] = {0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7};
+  std::size_t row = 0;
+  for (const double pc : pcs) {
+    sim::RunningStats acc;
+    sim::RunningStats bytes;
+    sim::RunningStats degraded;
+    sim::RunningStats failed;
+    sim::RunningStats unclustered;
+    for (int t = 0; t < bench::trials(); ++t) {
+      net::Network network(bench::paper_network(
+          400, bench::run_seed(11, row, static_cast<std::uint64_t>(t))));
+      core::IcpdaConfig cfg;
+      cfg.pc = pc;
+      const auto out =
+          core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+      if (out.result) acc.add(out.result->count / 399.0);
+      bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
+      degraded.add(out.degraded_privacy);
+      failed.add(out.clusters_failed);
+      unclustered.add(out.unclustered);
+    }
+    std::printf("%.2f\t%.3f\t%.0f\t%.1f\t%.1f\t%.1f\n", pc, acc.mean(), bytes.mean(),
+                degraded.mean(), failed.mean(), unclustered.mean());
+    ++row;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared plumbing for the experiment-reproduction binaries.
+//
+// Each bench_* executable regenerates one table/figure of the paper
+// (see DESIGN.md section 3): it sweeps the paper's parameter axis,
+// runs Monte-Carlo trials of full protocol epochs, and prints the
+// rows. Absolute numbers depend on the substrate; the shapes are what
+// EXPERIMENTS.md compares against the paper.
+//
+// ICPDA_TRIALS scales the Monte-Carlo effort (default keeps the whole
+// bench suite in the low minutes on a laptop).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "crypto/keyring.h"
+#include "net/network.h"
+#include "proto/epoch.h"
+
+namespace icpda::bench {
+
+/// Monte-Carlo trials per configuration point.
+inline int trials() {
+  if (const char* env = std::getenv("ICPDA_TRIALS")) {
+    const int t = std::atoi(env);
+    if (t > 0) return t;
+  }
+  return 5;
+}
+
+/// The paper-family network sizes (400 m x 400 m field, 50 m range).
+inline const std::vector<std::size_t>& paper_sizes() {
+  static const std::vector<std::size_t> sizes{200, 300, 400, 500, 600};
+  return sizes;
+}
+
+inline net::NetworkConfig paper_network(std::size_t n, std::uint64_t seed) {
+  net::NetworkConfig cfg;
+  cfg.node_count = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline crypto::MasterPairwiseScheme default_keys() {
+  return crypto::MasterPairwiseScheme{crypto::Key::from_seed(0x1CDA2009)};
+}
+
+/// Per-run seeds: deterministic but distinct per (experiment, point,
+/// trial) so adding trials never changes earlier rows.
+inline std::uint64_t run_seed(std::uint64_t experiment, std::uint64_t point,
+                              std::uint64_t trial) {
+  return experiment * 1000003 + point * 1009 + trial + 1;
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("# %s\n", title);
+  std::printf("# trials per point: %d\n", trials());
+  std::printf("%s\n", columns);
+}
+
+}  // namespace icpda::bench

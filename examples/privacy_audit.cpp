@@ -1,0 +1,56 @@
+// Privacy audit: how much can attackers of increasing strength infer?
+//
+// Uses the exact linear-algebra auditor (not formulas): an attacker's
+// view is a set of linear equations over secrets and blinding values;
+// a reading is disclosed exactly when that system pins it down. The
+// audit sweeps eavesdropping strength and collusion, for iCPDA
+// clusters and the SMART slicing baseline.
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "attacks/eavesdropper.h"
+#include "sim/rng.h"
+
+int main() {
+  using namespace icpda;
+  sim::Rng rng(0xA0D17);
+
+  std::printf("== eavesdropping: P[reading disclosed] by cluster size ==\n");
+  std::printf("px\tm=2\tm=3\tm=4\tSMART(l=2)\n");
+  for (const double px : {0.1, 0.2, 0.3, 0.5}) {
+    attacks::SmartView smart;
+    smart.l = 2;
+    smart.incoming = 1;
+    smart.px = px;
+    std::printf("%.1f\t%.4f\t%.4f\t%.4f\t%.4f\n", px,
+                attacks::estimate_disclosure_probability(2, px, 2000, rng),
+                attacks::estimate_disclosure_probability(3, px, 2000, rng),
+                attacks::estimate_disclosure_probability(4, px, 1000, rng),
+                smart.estimate(2000, rng));
+  }
+
+  std::printf("\n== collusion: honest member exposed in a cluster of 5 ==\n");
+  std::printf("colluders\texposed\n");
+  for (std::size_t k = 0; k <= 4; ++k) {
+    std::printf("%zu\t\t%.0f%%\n", k,
+                100.0 * attacks::estimate_collusion_disclosure(5, k, 200, rng));
+  }
+
+  std::printf("\n== a concrete worked scenario ==\n");
+  // Cluster {A, B, C}; the attacker broke both of A's outgoing share
+  // links and both links into A; the digest (F values) is public.
+  auto view = attacks::ClusterView::clean(3);
+  view.broken[0][1] = view.broken[0][2] = true;
+  view.broken[1][0] = view.broken[2][0] = true;
+  const auto disclosed = view.disclosed();
+  std::printf("links broken: A->B, A->C, B->A, C->A; F values public\n");
+  std::printf("disclosed: A=%s B=%s C=%s\n", disclosed[0] ? "YES" : "no",
+              disclosed[1] ? "YES" : "no", disclosed[2] ? "YES" : "no");
+
+  // Same knowledge without the public digest: nothing leaks.
+  view.f_public = false;
+  const auto without_digest = view.disclosed();
+  std::printf("same links, digest withheld: A=%s (the F values matter)\n",
+              without_digest[0] ? "YES" : "no");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Smart metering: the paper's motivating application.
+//
+// An advanced-metering neighbourhood reports power usage every epoch.
+// The utility needs the total (billing/planning) but individual
+// profiles reveal occupancy — the privacy concern the paper opens
+// with. This example runs several metering rounds, compares the
+// aggregate against ground truth, and shows what an eavesdropping
+// neighbour could and could not learn.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/models.h"
+#include "attacks/eavesdropper.h"
+#include "attacks/wiretap.h"
+#include "core/icpda.h"
+#include "crypto/keyring.h"
+#include "net/network.h"
+
+int main() {
+  using namespace icpda;
+
+  // A dense urban feeder: 350 meters in a 400 m x 400 m area, plus the
+  // data concentrator (base station).
+  net::NetworkConfig net_cfg;
+  net_cfg.node_count = 350;
+  net_cfg.seed = 2026;
+  const crypto::MasterPairwiseScheme keys{crypto::Key::from_seed(0x4D455445)};
+
+  std::printf("== advanced metering: 6 fifteen-minute rounds ==\n");
+  std::printf("round\ttruth_kW\tcollected_kW\terror%%\taccepted\n");
+  for (std::uint32_t round = 1; round <= 6; ++round) {
+    net::NetworkConfig cfg_round = net_cfg;
+    cfg_round.seed = net_cfg.seed + round;  // fresh channel randomness
+    net::Network network(cfg_round);
+
+    // Morning-peak load profile: base load + round-dependent bump,
+    // deterministic per (meter, round) so ground truth is computable.
+    const auto load_kw = [round](std::uint32_t id) {
+      const double base = 0.3 + 0.01 * (id % 17);
+      const double peak = 1.5 * (round >= 3 && round <= 5 ? 1.0 : 0.25);
+      return base + peak * ((id * 7 + round) % 5) / 5.0;
+    };
+    double truth = 0.0;
+    for (std::uint32_t id = 1; id < cfg_round.node_count; ++id) truth += load_kw(id);
+
+    core::IcpdaConfig proto_cfg;
+    proto_cfg.query_id = round;
+    const auto out = core::run_icpda_epoch(network, proto_cfg, load_kw, keys);
+    const double got = out.result ? out.result->sum : 0.0;
+    std::printf("%u\t%.1f\t%.1f\t%.2f\t%s\n", round, truth, got,
+                100.0 * (truth - got) / truth, out.accepted() ? "yes" : "NO");
+  }
+
+  // What does a curious neighbour (an eavesdropper that captured a few
+  // meters) learn about an individual household?
+  std::printf("\n== eavesdropper analysis ==\n");
+  net::Network network(net_cfg);
+  attacks::Wiretap tap(keys, /*captured=*/{77, 142});
+  tap.attach(network.channel());
+  core::IcpdaConfig proto_cfg;
+  core::run_icpda_epoch(network, proto_cfg, proto::constant_reading(1.0), keys);
+  std::printf("frames overheard: %llu (%llu encrypted shares, %llu opened)\n",
+              static_cast<unsigned long long>(tap.stats().frames_seen),
+              static_cast<unsigned long long>(tap.stats().share_frames),
+              static_cast<unsigned long long>(tap.stats().shares_opened));
+  const double px = tap.effective_px(network.topology());
+  std::printf("effective link-compromise probability px = %.4f\n", px);
+  std::printf("P[a given household's reading leaks], cluster size 3: %.2e\n",
+              analysis::cpda_disclosure_probability(3, px));
+  std::printf("(vs %.2e if meters sent readings to a parent in the clear)\n", 1.0);
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "analysis/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icpda::analysis {
+
+double expected_degree(const net::Field& field, std::size_t n, double range) {
+  return field.expected_degree(n, range);
+}
+
+namespace {
+/// Area of the intersection of disc(center, r) with the field,
+/// evaluated by 1D integration over x of the chord heights clipped to
+/// the field's y-extent.
+double clipped_disc_area(const net::Field& field, const net::Point& c, double r,
+                         std::size_t steps = 256) {
+  const double x_lo = std::max(0.0, c.x - r);
+  const double x_hi = std::min(field.width(), c.x + r);
+  if (x_hi <= x_lo) return 0.0;
+  const double dx = (x_hi - x_lo) / static_cast<double>(steps);
+  double area = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double x = x_lo + (static_cast<double>(i) + 0.5) * dx;
+    const double half = std::sqrt(std::max(0.0, r * r - (x - c.x) * (x - c.x)));
+    const double y_lo = std::max(0.0, c.y - half);
+    const double y_hi = std::min(field.height(), c.y + half);
+    area += std::max(0.0, y_hi - y_lo) * dx;
+  }
+  return area;
+}
+}  // namespace
+
+double expected_degree_border_corrected(const net::Field& field, std::size_t n,
+                                        double range, std::size_t grid) {
+  if (n < 2) return 0.0;
+  double mean_area = 0.0;
+  const double dx = field.width() / static_cast<double>(grid);
+  const double dy = field.height() / static_cast<double>(grid);
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = 0; j < grid; ++j) {
+      const net::Point p{(static_cast<double>(i) + 0.5) * dx,
+                         (static_cast<double>(j) + 0.5) * dy};
+      mean_area += clipped_disc_area(field, p, range);
+    }
+  }
+  mean_area /= static_cast<double>(grid * grid);
+  return static_cast<double>(n - 1) * mean_area / field.area();
+}
+
+double expected_cluster_size(double pc) {
+  if (pc <= 0.0 || pc > 1.0) {
+    throw std::invalid_argument("expected_cluster_size: pc in (0,1]");
+  }
+  return 1.0 / pc;
+}
+
+double lone_head_probability(double pc, double avg_degree) {
+  if (pc <= 0.0 || pc > 1.0) {
+    throw std::invalid_argument("lone_head_probability: pc in (0,1]");
+  }
+  const double heads_heard_by_neighbor = 1.0 + std::max(0.0, avg_degree - 1.0) * pc;
+  const double p_joins_me = (1.0 - pc) / heads_heard_by_neighbor;
+  return std::pow(1.0 - p_joins_me, avg_degree);
+}
+
+double cpda_disclosure_probability(std::size_t m, double px) {
+  if (m < 2) return 1.0;
+  return std::pow(px, 2.0 * static_cast<double>(m - 1));
+}
+
+double cpda_collusion_disclosure(std::size_t m, std::size_t colluders) {
+  if (m < 2) return 1.0;
+  return colluders >= m - 1 ? 1.0 : 0.0;
+}
+
+double smart_disclosure_probability(std::size_t l, std::size_t incoming, double px) {
+  if (l < 2) return 1.0;
+  return std::pow(px, static_cast<double>(l - 1 + incoming));
+}
+
+double tag_messages_per_node() { return 2.0; }
+
+double icpda_messages_per_node(double pc, std::size_t f_repeats) {
+  const double m = expected_cluster_size(pc);
+  // HELLO re-broadcast:                 1
+  // ClusterHello (heads) / Join (rest): pc + (1 - pc)
+  // Roster broadcast (heads):           pc
+  // Encrypted shares:                   m - 1
+  // F announce (members only):          1 - pc
+  // Digest broadcasts (heads):          pc * f_repeats
+  // Tree report (heads + relays; upper bound 1):  1
+  return 1.0 + 1.0 + pc + (m - 1.0) + (1.0 - pc) +
+         pc * static_cast<double>(f_repeats) + 1.0;
+}
+
+double smart_messages_per_node(std::size_t l) {
+  return tag_messages_per_node() + static_cast<double>(l - 1);
+}
+
+double witness_hears_child_probability() {
+  // P(|P1 - P2| <= r) for P1, P2 i.i.d. uniform in a disc of radius r:
+  // from the disc line-picking CDF, P = 1 - 3*sqrt(3)/(4*pi) ≈ 0.5865.
+  return 1.0 - 3.0 * std::numbers::sqrt3 / (4.0 * std::numbers::pi);
+}
+
+double detection_probability(std::size_t witnesses, std::size_t children) {
+  const double q = witness_hears_child_probability();
+  const double full_view = std::pow(q, static_cast<double>(children));
+  return 1.0 - std::pow(1.0 - full_view, static_cast<double>(witnesses));
+}
+
+}  // namespace icpda::analysis

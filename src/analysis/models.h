@@ -1,0 +1,99 @@
+// Closed-form models from the paper's theoretical analysis, plus the
+// reconstruction's own derivations. Each function documents its
+// assumptions; the test suite cross-validates every model against the
+// corresponding Monte-Carlo estimator (rank-test auditors, topology
+// sampling), which is the strongest reproduction statement this
+// repository makes about the analysis section.
+#pragma once
+
+#include <cstddef>
+
+#include "net/geometry.h"
+
+namespace icpda::analysis {
+
+// ---- deployment ------------------------------------------------------
+
+/// Expected node degree ignoring border effects:
+/// (n-1) * pi r^2 / area.
+[[nodiscard]] double expected_degree(const net::Field& field, std::size_t n,
+                                     double range);
+
+/// Expected node degree with border correction: the transmission disc
+/// of a node near the field edge is clipped, so the mean neighbourhood
+/// area is E_p[ area(disc(p, r) ∩ field) ]. Evaluated by numerical
+/// integration over a `grid x grid` lattice of positions (the
+/// integrand is smooth; 200^2 is plenty for 3 digits).
+[[nodiscard]] double expected_degree_border_corrected(const net::Field& field,
+                                                      std::size_t n, double range,
+                                                      std::size_t grid = 200);
+
+// ---- cluster formation ----------------------------------------------
+
+/// Expected cluster size when each node independently heads with
+/// probability pc and every non-head joins some head: E[m] = 1/pc.
+[[nodiscard]] double expected_cluster_size(double pc);
+
+/// Probability that a head ends up alone (no joiners), in a network of
+/// average degree d: each of its ~d neighbours is itself a head w.p.
+/// pc, and a non-head neighbour picks this head only 1-in-(heads it
+/// hears, ~ 1 + (d-1)pc). First-order approximation:
+///   P(lone) = (1 - (1-pc)/(1+(d-1)pc))^d
+[[nodiscard]] double lone_head_probability(double pc, double avg_degree);
+
+// ---- privacy ---------------------------------------------------------
+
+/// Leading-order CPDA disclosure probability for one member of a
+/// cluster of size m when each share link independently breaks with
+/// probability px and the F values are public (iCPDA digest):
+/// the attacker needs all m-1 outgoing AND all m-1 incoming share
+/// links of the victim, so
+///   P ≈ px^(2(m-1)).
+/// Exact disclosure also occurs through rarer global patterns (e.g.
+/// every link in the cluster broken); the Monte-Carlo auditor measures
+/// those too, and the tests assert this formula is a lower bound that
+/// matches to leading order for small px.
+[[nodiscard]] double cpda_disclosure_probability(std::size_t m, double px);
+
+/// Collusion: an honest member of a size-m cluster is exposed iff all
+/// other m-1 members collude. With k attacker-controlled members
+/// placed uniformly, a given honest member is exposed iff k = m-1.
+[[nodiscard]] double cpda_collusion_disclosure(std::size_t m, std::size_t colluders);
+
+/// SMART/iPDA slicing disclosure (cleartext tree reports): the
+/// attacker needs the l-1 outgoing slice links and the `incoming`
+/// inbound slice links of the victim:
+///   P = px^(l-1+incoming).
+[[nodiscard]] double smart_disclosure_probability(std::size_t l, std::size_t incoming,
+                                                  double px);
+
+// ---- communication overhead -------------------------------------------
+
+/// Expected protocol messages originated per node and epoch (MAC ACKs
+/// and retransmissions excluded — those are measured, not modelled).
+/// TAG: 1 HELLO re-broadcast + 1 report.
+[[nodiscard]] double tag_messages_per_node();
+
+/// iCPDA: HELLO + role traffic + (E[m]-1) shares + F announce +
+/// digest + report. pc is the head probability, f_repeats the digest
+/// repetition count.
+[[nodiscard]] double icpda_messages_per_node(double pc, std::size_t f_repeats);
+
+/// SMART: TAG plus l-1 slice messages.
+[[nodiscard]] double smart_messages_per_node(std::size_t l);
+
+// ---- integrity ---------------------------------------------------------
+
+/// Probability that two points placed uniformly i.i.d. in a disc of
+/// radius r are within distance r of each other (~0.5865). This is the
+/// chance that a random witness overhears a random tree child of its
+/// head, both being in the head's neighbourhood.
+[[nodiscard]] double witness_hears_child_probability();
+
+/// Probability that at least one of `witnesses` cluster members has a
+/// full view of a head with `children` tree children (and can
+/// therefore audit it exactly):
+///   1 - (1 - q^children)^witnesses,  q = witness_hears_child_probability.
+[[nodiscard]] double detection_probability(std::size_t witnesses, std::size_t children);
+
+}  // namespace icpda::analysis

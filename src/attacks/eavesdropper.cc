@@ -1,0 +1,159 @@
+#include "attacks/eavesdropper.h"
+
+#include <stdexcept>
+
+#include "core/cpda_algebra.h"
+
+namespace icpda::attacks {
+
+namespace {
+
+/// Coefficient row of the share value s_{i,j} = p_i(x_j) over the
+/// m*m unknown layout (member i occupies [i*m, i*m + m)):
+///   index i*m     -> v_i
+///   index i*m + t -> r_{i,t}, t = 1..m-1
+std::vector<double> share_row(std::size_t m, std::size_t i, double x_j) {
+  std::vector<double> row(m * m, 0.0);
+  row[i * m] = 1.0;
+  double p = 1.0;
+  for (std::size_t t = 1; t < m; ++t) {
+    p *= x_j;
+    row[i * m + t] = p;
+  }
+  return row;
+}
+
+}  // namespace
+
+ClusterView ClusterView::clean(std::size_t m) {
+  ClusterView v;
+  v.m = m;
+  v.seeds = core::default_seeds(m);
+  v.broken.assign(m, std::vector<bool>(m, false));
+  v.colluders.assign(m, false);
+  return v;
+}
+
+LinearKnowledge ClusterView::knowledge() const {
+  if (seeds.size() != m || broken.size() != m || colluders.size() != m) {
+    throw std::invalid_argument("ClusterView: inconsistent sizes");
+  }
+  LinearKnowledge k(m * m);
+
+  // Public F values: F_j = sum_i s_{i,j}.
+  if (f_public) {
+    for (std::size_t j = 0; j < m; ++j) {
+      std::vector<double> row(m * m, 0.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto r = share_row(m, i, seeds[j]);
+        for (std::size_t c = 0; c < row.size(); ++c) row[c] += r[c];
+      }
+      k.add_equation(std::move(row));
+    }
+  }
+
+  // Broken share links: the attacker reads s_{i,j} in transit.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (broken[i][j]) k.add_equation(share_row(m, i, seeds[j]));
+    }
+  }
+
+  // Colluders: all their secrets plus everything addressed to them.
+  for (std::size_t c = 0; c < m; ++c) {
+    if (!colluders[c]) continue;
+    for (std::size_t t = 0; t < m; ++t) k.pin(c * m + t);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == c) continue;
+      k.add_equation(share_row(m, i, seeds[c]));
+    }
+  }
+  return k;
+}
+
+std::vector<bool> ClusterView::disclosed() const {
+  const LinearKnowledge k = knowledge();
+  std::vector<bool> out(m, false);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (colluders[i]) continue;  // their own value is not a victim's
+    out[i] = k.determined(i * m);
+  }
+  return out;
+}
+
+double estimate_disclosure_probability(std::size_t m, double px,
+                                       std::size_t trials, sim::Rng& rng) {
+  if (m < 2) return 1.0;  // a lone node reports in the clear
+  std::size_t disclosed_members = 0;
+  std::size_t total_members = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ClusterView view = ClusterView::clean(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (i != j) view.broken[i][j] = rng.bernoulli(px);
+      }
+    }
+    for (const bool d : view.disclosed()) {
+      disclosed_members += d ? 1 : 0;
+      ++total_members;
+    }
+  }
+  return total_members ? static_cast<double>(disclosed_members) /
+                             static_cast<double>(total_members)
+                       : 0.0;
+}
+
+double estimate_collusion_disclosure(std::size_t m, std::size_t colluders,
+                                     std::size_t trials, sim::Rng& rng) {
+  if (m < 2 || colluders >= m) return 1.0;
+  std::size_t disclosed_members = 0;
+  std::size_t total_members = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ClusterView view = ClusterView::clean(m);
+    const auto picks = rng.sample_indices(m, colluders);
+    for (const std::size_t c : picks) view.colluders[c] = true;
+    for (const bool d : view.disclosed()) {
+      disclosed_members += d ? 1 : 0;
+    }
+    total_members += m - colluders;
+  }
+  return total_members ? static_cast<double>(disclosed_members) /
+                             static_cast<double>(total_members)
+                       : 0.0;
+}
+
+double SmartView::estimate(std::size_t trials, sim::Rng& rng) const {
+  // Unknown layout: 0 = v, 1..l-1 = outgoing slices, l = kept slice,
+  // l+1 .. l+incoming = received slices.
+  const std::size_t n = 1 + (l - 1) + 1 + incoming;
+  std::size_t disclosed = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    LinearKnowledge k(n);
+    // Protocol structure, known to everyone: v = kept + sum(out).
+    {
+      std::vector<double> row(n, 0.0);
+      row[0] = 1.0;
+      for (std::size_t s = 1; s < l; ++s) row[s] = -1.0;
+      row[l] = -1.0;
+      k.add_equation(std::move(row));
+    }
+    // The cleartext tree report: R = kept + sum(in).
+    {
+      std::vector<double> row(n, 0.0);
+      row[l] = 1.0;
+      for (std::size_t s = 0; s < incoming; ++s) row[l + 1 + s] = 1.0;
+      k.add_equation(std::move(row));
+    }
+    for (std::size_t s = 1; s < l; ++s) {
+      if (rng.bernoulli(px)) k.pin(s);
+    }
+    for (std::size_t s = 0; s < incoming; ++s) {
+      if (rng.bernoulli(px)) k.pin(l + 1 + s);
+    }
+    if (k.determined(0)) ++disclosed;
+  }
+  return static_cast<double>(disclosed) / static_cast<double>(trials);
+}
+
+}  // namespace icpda::attacks

@@ -1,0 +1,83 @@
+// Eavesdropping attack model and disclosure estimation.
+//
+// The attacker overhears the entire shared medium; what it can READ is
+// limited by link-level encryption. Following the paper family, px is
+// the probability that the attacker can break the security of a given
+// link (via key reuse under random predistribution, node capture
+// elsewhere in the network, etc.). Everything sent in the clear — the
+// F digests, the up-tree cluster-sum reports — is attacker-known by
+// definition.
+//
+// Disclosure is decided by the LinearKnowledge rank test (linear_audit.h),
+// not by a formula, so these estimators double as an independent check
+// on the closed forms in analysis/models.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/linear_audit.h"
+#include "sim/rng.h"
+
+namespace icpda::attacks {
+
+/// The attacker's view of one CPDA cluster of size m.
+///
+/// Unknowns per member i: its private value v_i and its m-1 blinding
+/// coefficients. Public by protocol: all assembled F_j (the head's
+/// digest is broadcast in the clear) and hence the cluster sum.
+struct ClusterView {
+  std::size_t m = 0;
+  /// seeds[j]: public evaluation point of member j (default 1..m).
+  std::vector<double> seeds;
+  /// broken[i][j]: attacker reads the encrypted share i -> j (i != j).
+  std::vector<std::vector<bool>> broken;
+  /// colluders[i]: member i is attacker-controlled (all its secrets
+  /// and everything it received are known).
+  std::vector<bool> colluders;
+  /// F values are public (true for iCPDA; set false to model a CPDA
+  /// variant that unicasts F to the head under encryption).
+  bool f_public = true;
+
+  [[nodiscard]] static ClusterView clean(std::size_t m);
+
+  /// Build the attacker's equation system.
+  [[nodiscard]] LinearKnowledge knowledge() const;
+
+  /// disclosed[i]: v_i uniquely determined by the attacker's view.
+  /// Colluders are trivially "disclosed" to themselves and excluded
+  /// (reported false) — the interesting victims are honest members.
+  [[nodiscard]] std::vector<bool> disclosed() const;
+};
+
+/// Monte-Carlo estimate of the per-member disclosure probability in a
+/// cluster of size m when each share link independently breaks with
+/// probability px (no colluders).
+[[nodiscard]] double estimate_disclosure_probability(std::size_t m, double px,
+                                                     std::size_t trials,
+                                                     sim::Rng& rng);
+
+/// Same, with `colluders` randomly chosen attacker-controlled members;
+/// returns the probability that a given HONEST member is disclosed.
+[[nodiscard]] double estimate_collusion_disclosure(std::size_t m,
+                                                   std::size_t colluders,
+                                                   std::size_t trials,
+                                                   sim::Rng& rng);
+
+// ---------------------------------------------------------------------
+// SMART baseline view (for the cross-protocol privacy comparison).
+
+/// One SMART node and its slice neighbourhood: the node splits its
+/// value into l slices, keeps one, sends l-1 out; it receives
+/// `incoming` slices from peers; its effective value (kept + received)
+/// travels in the clear in its tree report.
+struct SmartView {
+  std::size_t l = 2;          ///< total slices (l-1 sent out)
+  std::size_t incoming = 1;   ///< slices received from distinct peers
+  double px = 0.1;            ///< per-link break probability
+
+  /// Monte-Carlo disclosure probability of the node's value.
+  [[nodiscard]] double estimate(std::size_t trials, sim::Rng& rng) const;
+};
+
+}  // namespace icpda::attacks

@@ -1,0 +1,92 @@
+#include "attacks/linear_audit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icpda::attacks {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+void LinearKnowledge::add_equation(std::vector<double> coeffs) {
+  if (coeffs.size() != unknowns_) {
+    throw std::invalid_argument("LinearKnowledge: coefficient count mismatch");
+  }
+  rows_.push_back(std::move(coeffs));
+  nullspace_valid_ = false;
+}
+
+void LinearKnowledge::pin(std::size_t idx) {
+  std::vector<double> row(unknowns_, 0.0);
+  row.at(idx) = 1.0;
+  add_equation(std::move(row));
+}
+
+void LinearKnowledge::ensure_nullspace() const {
+  if (nullspace_valid_) return;
+  // Reduced row echelon form of the coefficient matrix with partial
+  // pivoting; free columns generate the null space.
+  std::vector<std::vector<double>> m = rows_;
+  const std::size_t n = unknowns_;
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m.size(); ++col) {
+    // Pivot search.
+    std::size_t best = row;
+    double best_abs = std::abs(m[row][col]);
+    for (std::size_t r = row + 1; r < m.size(); ++r) {
+      if (std::abs(m[r][col]) > best_abs) {
+        best = r;
+        best_abs = std::abs(m[r][col]);
+      }
+    }
+    if (best_abs < kEps) continue;  // free column
+    std::swap(m[row], m[best]);
+    const double inv = 1.0 / m[row][col];
+    for (std::size_t c = col; c < n; ++c) m[row][c] *= inv;
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      if (r == row) continue;
+      const double f = m[r][col];
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t c = col; c < n; ++c) m[r][c] -= f * m[row][c];
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+
+  // Identify pivot columns.
+  std::vector<bool> is_pivot(n, false);
+  for (const std::size_t c : pivot_col_of_row) is_pivot[c] = true;
+
+  nullspace_.clear();
+  for (std::size_t free_col = 0; free_col < n; ++free_col) {
+    if (is_pivot[free_col]) continue;
+    std::vector<double> basis(n, 0.0);
+    basis[free_col] = 1.0;
+    for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+      basis[pivot_col_of_row[r]] = -m[r][free_col];
+    }
+    nullspace_.push_back(std::move(basis));
+  }
+  nullspace_valid_ = true;
+}
+
+bool LinearKnowledge::determined(std::size_t idx) const {
+  if (idx >= unknowns_) {
+    throw std::out_of_range("LinearKnowledge::determined: bad index");
+  }
+  ensure_nullspace();
+  // x_idx is determined iff every null-space direction leaves it fixed.
+  for (const auto& basis : nullspace_) {
+    if (std::abs(basis[idx]) > 1e-7) return false;
+  }
+  return true;
+}
+
+std::size_t LinearKnowledge::nullity() const {
+  ensure_nullspace();
+  return nullspace_.size();
+}
+
+}  // namespace icpda::attacks

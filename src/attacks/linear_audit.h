@@ -1,0 +1,52 @@
+// Information-theoretic disclosure auditing via linear algebra.
+//
+// Every privacy mechanism in this repository (CPDA shares, SMART
+// slices) is linear: the attacker's view is a set of linear equations
+// over the sensors' secrets and the protocols' random blinding values.
+// A secret is DISCLOSED exactly when it is uniquely determined by that
+// equation system — i.e. when its coordinate vector is orthogonal to
+// the solution null space. LinearKnowledge implements that test
+// directly, so the privacy experiments measure actual inferability
+// rather than pattern-matching a formula.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace icpda::attacks {
+
+class LinearKnowledge {
+ public:
+  /// A system over `unknowns` real variables.
+  explicit LinearKnowledge(std::size_t unknowns) : unknowns_(unknowns) {}
+
+  [[nodiscard]] std::size_t unknowns() const { return unknowns_; }
+  [[nodiscard]] std::size_t equations() const { return rows_.size(); }
+
+  /// Add the equation  sum_k coeffs[k] * x_k = rhs-known-to-attacker.
+  /// The right-hand side value itself is irrelevant for determinedness
+  /// (the system is consistent by construction: the real execution is
+  /// a solution), so only the coefficient row is stored.
+  void add_equation(std::vector<double> coeffs);
+
+  /// Convenience: the attacker directly knows x_idx.
+  void pin(std::size_t idx);
+
+  /// True iff x_idx is uniquely determined by the added equations,
+  /// i.e. e_idx lies in the row space. Computed against a cached
+  /// null-space basis; adding equations invalidates the cache.
+  [[nodiscard]] bool determined(std::size_t idx) const;
+
+  /// Number of free dimensions left (unknowns - rank).
+  [[nodiscard]] std::size_t nullity() const;
+
+ private:
+  void ensure_nullspace() const;
+
+  std::size_t unknowns_;
+  std::vector<std::vector<double>> rows_;
+  mutable std::vector<std::vector<double>> nullspace_;
+  mutable bool nullspace_valid_ = false;
+};
+
+}  // namespace icpda::attacks

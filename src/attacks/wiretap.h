@@ -1,0 +1,55 @@
+// Frame-level eavesdropper: an antenna on the shared medium plus the
+// key material of captured nodes.
+//
+// Unlike the algebraic auditors (eavesdropper.h), the Wiretap operates
+// on the actual ciphertext frames the Channel carries: it can only
+// open a sealed share if it holds the link's key — by having captured
+// an endpoint, or structurally under Eschenauer–Gligor key reuse. The
+// key-scheme ablation (bench_keyscheme) uses it to measure the
+// *effective* px a key-management choice induces.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/channel.h"
+#include "net/packet.h"
+
+namespace icpda::attacks {
+
+class Wiretap {
+ public:
+  struct Stats {
+    std::uint64_t frames_seen = 0;
+    std::uint64_t share_frames = 0;
+    std::uint64_t shares_opened = 0;  ///< successfully decrypted
+    std::uint64_t cleartext_frames = 0;
+  };
+
+  Wiretap(const crypto::KeyScheme& keys, std::vector<net::NodeId> captured);
+
+  /// Can this attacker read link {a, b}? True if it captured an
+  /// endpoint or a third party holding the link's key.
+  [[nodiscard]] bool link_readable(net::NodeId a, net::NodeId b) const;
+
+  /// Register on the channel; every transmission flows through.
+  void attach(net::Channel& channel);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Fraction of a topology's links this attacker can read — the
+  /// empirical px induced by the key scheme + captured set.
+  [[nodiscard]] double effective_px(const net::Topology& topo) const;
+
+ private:
+  void observe(net::NodeId sender, const net::Frame& frame);
+
+  const crypto::KeyScheme& keys_;
+  std::vector<net::NodeId> captured_;
+  std::unordered_set<net::NodeId> captured_set_;
+  Stats stats_;
+};
+
+}  // namespace icpda::attacks

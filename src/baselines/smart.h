@@ -1,0 +1,97 @@
+// SMART — Slice-Mix-AggRegaTe (He et al., INFOCOM'07), the slicing
+// baseline of the paper family (iPDA's privacy mechanism is the same
+// idea with disjoint trees on top).
+//
+// Each sensor hides its reading by splitting its aggregate contribution
+// into l random slices: l-1 are sent encrypted to distinct neighbouring
+// participants, one is kept. After a mixing deadline every node treats
+// (kept slice + received slices) as its effective reading and a plain
+// TAG epoch aggregates the effective values. Privacy holds against an
+// eavesdropper unless all l slices of a node leak; there is NO
+// integrity mechanism — it is the privacy-but-no-integrity comparator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "proto/aggregate.h"
+#include "proto/epoch.h"
+#include "proto/messages.h"
+
+namespace icpda::baselines {
+
+struct SmartConfig {
+  std::uint32_t query_id = 1;
+  proto::TreeTiming timing;
+  /// Total slices per node (l). l-1 leave the node; the paper family
+  /// recommends l = 2 as the overhead/privacy sweet spot.
+  std::uint32_t slices = 2;
+  /// Wait after joining the tree before picking slice recipients
+  /// (neighbour discovery = overheard HELLO re-broadcasts).
+  double slice_delay_s = 0.05;
+};
+
+struct SmartOutcome {
+  std::optional<proto::Aggregate> result;
+  sim::SimTime closed_at;
+  std::uint32_t reporters = 0;
+  /// Nodes that could not find l-1 participating neighbours and kept
+  /// extra slices locally (reduced privacy, not data loss).
+  std::uint32_t degraded_privacy = 0;
+};
+
+class SmartApp final : public net::App {
+ public:
+  SmartApp(SmartConfig config, proto::ReadingProvider readings,
+           const crypto::KeyScheme* keys, SmartOutcome* outcome)
+      : config_(config),
+        readings_(std::move(readings)),
+        keys_(keys),
+        outcome_(outcome) {}
+
+  void start(net::Node& node) override;
+  void on_receive(net::Node& node, const net::Frame& frame) override;
+  void on_overhear(net::Node& node, const net::Frame& frame) override;
+
+  [[nodiscard]] bool joined() const { return joined_; }
+  [[nodiscard]] net::NodeId parent() const { return parent_; }
+
+ private:
+  void handle_hello(net::Node& node, const net::Frame& frame);
+  void handle_slice(net::Node& node, const net::Frame& frame);
+  void handle_report(net::Node& node, const net::Frame& frame);
+  void send_slices(net::Node& node);
+  void send_report(net::Node& node);
+  void close_epoch(net::Node& node);
+  void note_participant(net::NodeId id);
+
+  SmartConfig config_;
+  proto::ReadingProvider readings_;
+  const crypto::KeyScheme* keys_;
+  SmartOutcome* outcome_;
+
+  bool joined_ = false;
+  bool reported_ = false;
+  bool sliced_ = false;
+  net::NodeId parent_ = net::kNoNode;
+  std::uint16_t hop_ = 0;
+  /// Kept slice of the own contribution (own triple minus sent slices).
+  proto::Aggregate kept_;
+  /// Received slices + children reports accumulate here.
+  proto::Aggregate pending_;
+  /// Participating neighbours discovered from HELLO traffic.
+  std::vector<net::NodeId> participants_;
+};
+
+/// Run one SMART epoch on `net`. Keys: pairwise scheme for slice
+/// encryption (must yield a key for every neighbour pair used).
+SmartOutcome run_smart_epoch(net::Network& net, const SmartConfig& config,
+                             const proto::ReadingProvider& readings,
+                             const crypto::KeyScheme& keys);
+
+}  // namespace icpda::baselines

@@ -1,0 +1,74 @@
+// TAG: Tiny AGgregation (Madden et al., OSDI'02) — the paper's
+// comparison baseline.
+//
+// The base station floods a HELLO; each node adopts the first sender
+// it hears as its tree parent and re-broadcasts once. Reports ascend
+// the tree in depth-scheduled slots, each node merging its children's
+// aggregates with its own reading. No privacy (the first-hop report
+// reveals each leaf's reading to its parent and to every eavesdropper
+// of that link) and no integrity (any aggregator can silently rewrite
+// the partial aggregate) — it is the efficiency yardstick.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "proto/aggregate.h"
+#include "proto/epoch.h"
+#include "proto/messages.h"
+
+namespace icpda::baselines {
+
+struct TagConfig {
+  std::uint32_t query_id = 1;
+  proto::TreeTiming timing;
+};
+
+/// Shared outcome sink: one per simulated epoch, owned by the driver,
+/// written by the base station's app when the epoch closes.
+struct TagOutcome {
+  std::optional<proto::Aggregate> result;
+  sim::SimTime closed_at;
+  /// Nodes that transmitted a report (diagnostic).
+  std::uint32_t reporters = 0;
+};
+
+class TagApp final : public net::App {
+ public:
+  TagApp(TagConfig config, proto::ReadingProvider readings, TagOutcome* outcome)
+      : config_(config), readings_(std::move(readings)), outcome_(outcome) {}
+
+  void start(net::Node& node) override;
+  void on_receive(net::Node& node, const net::Frame& frame) override;
+
+  // Introspection for tests.
+  [[nodiscard]] net::NodeId parent() const { return parent_; }
+  [[nodiscard]] std::uint16_t hop() const { return hop_; }
+  [[nodiscard]] bool joined() const { return joined_; }
+
+ private:
+  void handle_hello(net::Node& node, const net::Frame& frame);
+  void handle_report(net::Node& node, const net::Frame& frame);
+  void send_report(net::Node& node);
+  void close_epoch(net::Node& node);
+
+  TagConfig config_;
+  proto::ReadingProvider readings_;
+  TagOutcome* outcome_;
+
+  bool joined_ = false;    ///< heard the query, part of the tree
+  bool reported_ = false;  ///< already sent (or closed) — late input dropped
+  net::NodeId parent_ = net::kNoNode;
+  std::uint16_t hop_ = 0;
+  proto::Aggregate pending_;  ///< children's aggregates merged so far
+};
+
+/// Convenience driver: build apps on every node of `net`, run one
+/// epoch to quiescence, and return the outcome.
+TagOutcome run_tag_epoch(net::Network& net, const TagConfig& config,
+                         const proto::ReadingProvider& readings);
+
+}  // namespace icpda::baselines

@@ -1,0 +1,100 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+
+namespace icpda::core {
+
+bool ClusterContext::set_roster(net::NodeId head, std::vector<std::uint32_t> members,
+                                std::vector<std::uint32_t> seeds, net::NodeId self) {
+  if (members.empty() || members.size() != seeds.size()) return false;
+  const auto it = std::find(members.begin(), members.end(), self);
+  if (it == members.end()) return false;
+  // Seeds must be distinct and non-zero for the interpolation.
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (seeds[i] == 0) return false;
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      if (seeds[i] == seeds[j]) return false;
+    }
+  }
+  head_ = head;
+  members_ = std::move(members);
+  seeds_ = std::move(seeds);
+  my_index_ = static_cast<std::size_t>(it - members_.begin());
+  return true;
+}
+
+std::optional<double> ClusterContext::seed_of(net::NodeId member) const {
+  const auto it = std::find(members_.begin(), members_.end(), member);
+  if (it == members_.end()) return std::nullopt;
+  return static_cast<double>(seeds_[static_cast<std::size_t>(it - members_.begin())]);
+}
+
+bool ClusterContext::in_roster(net::NodeId n) const {
+  return std::find(members_.begin(), members_.end(), n) != members_.end();
+}
+
+std::vector<double> ClusterContext::seed_values() const {
+  std::vector<double> out(seeds_.size());
+  std::transform(seeds_.begin(), seeds_.end(), out.begin(),
+                 [](std::uint32_t s) { return static_cast<double>(s); });
+  return out;
+}
+
+proto::Aggregate ClusterContext::assemble(std::vector<std::uint32_t>& contributors) const {
+  proto::Aggregate f;
+  contributors.clear();
+  if (have_kept_) {
+    f.merge(kept_share_);
+    contributors.push_back(members_[my_index_]);
+  }
+  for (const auto& [sender, share] : shares_in_) {
+    f.merge(share);
+    contributors.push_back(sender);
+  }
+  std::sort(contributors.begin(), contributors.end());
+  return f;
+}
+
+void ClusterContext::record_announce(net::NodeId member, const proto::Aggregate& f,
+                                     std::vector<std::uint32_t> contributors) {
+  if (!in_roster(member)) return;
+  std::sort(contributors.begin(), contributors.end());
+  announces_[member] = Announce{f, std::move(contributors)};
+}
+
+bool ClusterContext::consistent() const {
+  if (announces_.empty()) return false;
+  const auto& reference = announces_.begin()->second.contributors;
+  if (reference.empty()) return false;
+  return std::all_of(announces_.begin(), announces_.end(), [&](const auto& kv) {
+    return kv.second.contributors == reference;
+  });
+}
+
+std::optional<proto::Aggregate> ClusterContext::solve() const {
+  if (!complete() || !consistent()) return std::nullopt;
+  std::vector<proto::Aggregate> assembled(members_.size());
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    const auto it = announces_.find(members_[j]);
+    if (it == announces_.end()) return std::nullopt;
+    assembled[j] = it->second.f;
+  }
+  return solve_cluster_sum(seed_values(), assembled);
+}
+
+std::vector<proto::Aggregate> ClusterContext::announced_f_values() const {
+  std::vector<proto::Aggregate> out(members_.size());
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    if (const auto it = announces_.find(members_[j]); it != announces_.end()) {
+      out[j] = it->second.f;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> ClusterContext::contributor_set() const {
+  if (announces_.empty()) return {};
+  return announces_.begin()->second.contributors;
+}
+
+}  // namespace icpda::core

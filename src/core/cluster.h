@@ -1,0 +1,113 @@
+// Per-node cluster bookkeeping for one iCPDA epoch.
+//
+// ClusterContext is pure protocol algebra — no networking, no timers —
+// so the share/assemble/solve pipeline is unit-testable in isolation.
+// The IcpdaApp owns one per node and feeds it roster, shares and F
+// announcements as they arrive off the radio.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cpda_algebra.h"
+#include "net/topology.h"
+#include "proto/aggregate.h"
+
+namespace icpda::core {
+
+enum class ClusterRole : std::uint8_t {
+  kUndecided,   ///< heard the query, role not yet fixed
+  kHead,        ///< cluster head (aggregator)
+  kMember,      ///< joined a head's cluster
+  kUnclustered  ///< found no cluster to join (excluded from aggregation)
+};
+
+class ClusterContext {
+ public:
+  /// Install the final roster (as broadcast by the head). `self` must
+  /// appear in `members`; returns false (and leaves the context empty)
+  /// otherwise, or if members/seeds are malformed.
+  bool set_roster(net::NodeId head, std::vector<std::uint32_t> members,
+                  std::vector<std::uint32_t> seeds, net::NodeId self);
+
+  [[nodiscard]] bool has_roster() const { return !members_.empty(); }
+  [[nodiscard]] net::NodeId head() const { return head_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& members() const { return members_; }
+
+  /// Seed x_j assigned to a member; nullopt if not in the roster.
+  [[nodiscard]] std::optional<double> seed_of(net::NodeId member) const;
+  [[nodiscard]] double my_seed() const { return seeds_.at(my_index_); }
+  [[nodiscard]] std::size_t my_index() const { return my_index_; }
+  [[nodiscard]] bool in_roster(net::NodeId n) const;
+
+  /// Seeds of all members, roster order (doubles for the solver).
+  [[nodiscard]] std::vector<double> seed_values() const;
+
+  // ---- Phase II bookkeeping ----------------------------------------
+
+  /// The share p_self(x_self) this node keeps for itself.
+  void set_kept_share(const proto::Aggregate& share) {
+    kept_share_ = share;
+    have_kept_ = true;
+  }
+
+  /// A decrypted share p_sender(x_self) received from a peer. Repeat
+  /// senders overwrite (retransmission).
+  void record_share(net::NodeId sender, const proto::Aggregate& share) {
+    shares_in_[sender] = share;
+  }
+
+  [[nodiscard]] std::size_t shares_received() const { return shares_in_.size(); }
+
+  /// Assemble F_self = kept + sum of received shares. `contributors`
+  /// receives the sorted member ids whose shares are included
+  /// (including self). Requires set_kept_share() to have been called.
+  [[nodiscard]] proto::Aggregate assemble(std::vector<std::uint32_t>& contributors) const;
+
+  /// An F announcement from `member` (possibly self), with the
+  /// contributor list it claims.
+  void record_announce(net::NodeId member, const proto::Aggregate& f,
+                       std::vector<std::uint32_t> contributors);
+
+  [[nodiscard]] std::size_t announces_received() const { return announces_.size(); }
+
+  /// All roster members have announced F.
+  [[nodiscard]] bool complete() const { return announces_.size() == members_.size(); }
+
+  /// All announced contributor lists are identical (the consistency
+  /// condition under which the interpolation recovers sum over that
+  /// common contributor set).
+  [[nodiscard]] bool consistent() const;
+
+  /// Interpolate the cluster sum. Requires complete() && consistent();
+  /// returns nullopt otherwise (or on numerically invalid seeds).
+  [[nodiscard]] std::optional<proto::Aggregate> solve() const;
+
+  /// The common contributor set (valid when consistent()).
+  [[nodiscard]] std::vector<std::uint32_t> contributor_set() const;
+
+  /// Announced F values in roster order (valid when complete()); a
+  /// missing announce yields a zero triple in its slot.
+  [[nodiscard]] std::vector<proto::Aggregate> announced_f_values() const;
+
+ private:
+  net::NodeId head_ = net::kNoNode;
+  std::vector<std::uint32_t> members_;  ///< roster order
+  std::vector<std::uint32_t> seeds_;    ///< roster order
+  std::size_t my_index_ = 0;
+
+  proto::Aggregate kept_share_;
+  bool have_kept_ = false;
+  std::map<net::NodeId, proto::Aggregate> shares_in_;
+
+  struct Announce {
+    proto::Aggregate f;
+    std::vector<std::uint32_t> contributors;  ///< stored sorted
+  };
+  std::map<net::NodeId, Announce> announces_;
+};
+
+}  // namespace icpda::core

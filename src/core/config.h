@@ -1,0 +1,159 @@
+// Configuration knobs of the iCPDA protocol and its attack plans.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/topology.h"
+#include "net/wire.h"
+#include "proto/epoch.h"
+
+namespace icpda::core {
+
+/// What a cluster head does when its cluster ends up smaller than the
+/// minimum size the share algebra needs for privacy (3).
+enum class SmallClusterPolicy : std::uint8_t {
+  /// Report the members' values in the clear (no privacy for them,
+  /// full accuracy). Degraded nodes are counted in the outcome.
+  kClearReport,
+  /// Suppress the cluster's contribution entirely (full privacy,
+  /// data loss).
+  kDrop,
+};
+
+struct IcpdaConfig {
+  std::uint32_t query_id = 1;
+  proto::TreeTiming timing;
+
+  /// Cluster-head self-election probability on hearing the query.
+  double pc = 0.3;
+
+  /// Density-adaptive election (the family's iPDA rule p = k/N_heard,
+  /// transplanted to cluster-head election): instead of the fixed pc,
+  /// a node elects with probability min(1, adapt_k / hellos_heard), so
+  /// the number of heads per radio neighbourhood stays ~adapt_k
+  /// regardless of density. Off by default (the ICDCS paper uses a
+  /// fixed pc); bench_adaptive_pc measures the difference.
+  bool adaptive_pc = false;
+  double adapt_k = 2.0;
+
+  /// Minimum cluster size for the share algebra (m >= 3 keeps any
+  /// single member from solving for a peer's value).
+  std::uint32_t min_cluster_size = 3;
+  SmallClusterPolicy small_cluster_policy = SmallClusterPolicy::kClearReport;
+  /// Heads cap their roster at this size: the intra-cluster exchange is
+  /// O(m^2) frames through one radio, so unbounded clusters in dense
+  /// neighbourhoods collapse Phase II. Excess joiners re-join another
+  /// head (see rejoin_attempts).
+  std::uint32_t max_cluster_size = 8;
+  /// How many times a member whose join was rejected/lost tries a
+  /// different head before giving up as unclustered.
+  std::uint32_t rejoin_attempts = 2;
+
+  // -- Phase I timing (offsets from a node hearing the query) --------
+  /// Non-heads wait this long collecting ClusterHello before joining.
+  double join_delay_s = 0.10;
+  /// A node that heard no ClusterHello retries its role decision every
+  /// join_delay_s, self-electing with pc each round; after this many
+  /// rounds it becomes a head unconditionally (so isolated nodes still
+  /// report, as lone heads, under the small-cluster policy).
+  std::uint32_t max_join_rounds = 4;
+  /// Jitter window for sending the join (desynchronises the join wave).
+  double join_jitter_s = 0.05;
+  /// Heads close their roster this long after announcing.
+  double roster_delay_s = 0.30;
+  /// Roster broadcasts have no ARQ; repeat them this many times.
+  std::uint32_t roster_repeats = 2;
+  /// Members give up waiting for their head's roster after this long
+  /// (measured from sending the join).
+  double roster_timeout_s = 0.70;
+
+  // -- Phase II timing (offsets from a member receiving the roster) --
+  // A cluster of size m exchanges ~m^2 share frames, all serialized
+  // through the head's radio (member-to-member shares relay via the
+  // head), so the deadlines scale with m: every member knows m from
+  // the roster.
+  /// Base jitter window for sending the encrypted shares.
+  double share_jitter_s = 0.10;
+  /// Base delay until each member unicasts its assembled F value.
+  double assemble_delay_s = 0.50;
+  /// Jitter window on the F unicast.
+  double f_jitter_s = 0.12;
+  /// How many times the head repeats the digest broadcast (no ARQ).
+  std::uint32_t f_repeats = 2;
+  /// Base delay until the head solves and broadcasts the digest.
+  double solve_delay_s = 0.95;
+  /// Added to the share window (x0.6), assemble and solve deadlines
+  /// per roster member.
+  double per_member_slack_s = 0.08;
+
+  [[nodiscard]] double share_window_s(std::size_t m) const {
+    return share_jitter_s + 0.6 * per_member_slack_s * static_cast<double>(m);
+  }
+  [[nodiscard]] double assemble_at_s(std::size_t m) const {
+    return assemble_delay_s + per_member_slack_s * static_cast<double>(m);
+  }
+  [[nodiscard]] double solve_at_s(std::size_t m) const {
+    return solve_delay_s + per_member_slack_s * static_cast<double>(m);
+  }
+
+  /// Extra head-start added before the tree report slots so Phase II
+  /// completes below every report (added to TreeTiming::report_delay).
+  /// Must cover max_join_rounds * join_delay + roster_delay +
+  /// solve_delay plus jitters.
+  double phase2_budget_s = 4.0;
+
+  /// Bound on the uniform random polynomial coefficients.
+  double coeff_scale = 1000.0;
+
+  // -- Phase III: witness auditing ------------------------------------
+  /// Numeric tolerance when a witness compares the head's outgoing sum
+  /// with its own reconstruction (floating-point slack only; losses
+  /// are handled by claim matching, not by this threshold).
+  double witness_tolerance = 1e-6;
+  /// Alarm when the head omits an input the witness saw arrive.
+  bool alarm_on_omission = true;
+  /// Inputs overheard within this window before the head's report are
+  /// exempt from omission alarms: the head builds the report payload at
+  /// its slot but the frame airs only after MAC queueing/backoff (up to
+  /// ~0.4 s under contention), so inputs landing in between were
+  /// legitimately missed — the head forwards them verbatim instead, and
+  /// the child's watchdog covers genuine drops in this window.
+  double omission_guard_s = 0.6;
+
+  /// Watchdog: after sending/forwarding a report to a (non-BS) parent,
+  /// the sender overhears the medium and expects the parent either to
+  /// forward the payload verbatim (relays) or to claim the reporter in
+  /// its own aggregate (heads) within this window; otherwise it alarms.
+  double watchdog_timeout_s = 1.0;
+  bool watchdog_enabled = true;
+
+  /// Base-station acceptance threshold on |alarm.expected - observed|;
+  /// alarms with deviation below Th are ignored (loss tolerance).
+  double th = 0.5;
+
+  /// Optional aggregator-eligibility bitset carried in the query flood
+  /// (bit per node id). Empty = every node may head/aggregate. The
+  /// bisection localizer narrows this set round by round.
+  net::Bytes allowed_mask;
+};
+
+/// Data-pollution attack plan: `polluters` tamper with the aggregate
+/// they forward in Phase III by adding `delta` to the sum component
+/// (and proportionally to count if `pollute_count`).
+struct AttackPlan {
+  std::unordered_set<net::NodeId> polluters;
+  double delta = 0.0;
+  bool pollute_count = false;
+  /// Attackers maximise their aggregation role: a polluter always
+  /// self-elects as cluster head instead of drawing pc (a compromised
+  /// node is not bound by the honest protocol's coin flips).
+  bool force_head = true;
+
+  [[nodiscard]] bool is_polluter(net::NodeId id) const {
+    return polluters.contains(id);
+  }
+  [[nodiscard]] bool active() const { return !polluters.empty() && delta != 0.0; }
+};
+
+}  // namespace icpda::core

@@ -1,0 +1,213 @@
+#include "core/cpda_algebra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace icpda::core {
+
+std::vector<double> default_seeds(std::size_t m) {
+  std::vector<double> seeds(m);
+  for (std::size_t i = 0; i < m; ++i) seeds[i] = static_cast<double>(i + 1);
+  return seeds;
+}
+
+namespace {
+bool seeds_valid(const std::vector<double>& seeds) {
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (seeds[i] == 0.0) return false;
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      if (seeds[i] == seeds[j]) return false;
+    }
+  }
+  return !seeds.empty();
+}
+}  // namespace
+
+std::vector<proto::Aggregate> make_shares(const proto::Aggregate& value,
+                                          const std::vector<double>& seeds,
+                                          sim::Rng& rng, double coeff_scale) {
+  const std::size_t m = seeds.size();
+  double x_max = 1.0;
+  for (const double s : seeds) x_max = std::max(x_max, std::abs(s));
+  // Three polynomials share the structure; coefficients are drawn
+  // independently per component (count, sum, sum_sq). The degree-t
+  // coefficient is scaled by 1/x_max^t so every blinding term stays
+  // O(coeff_scale) at every seed — keeping the share magnitudes (and
+  // hence the Vandermonde conditioning of the solve) flat in m.
+  // Privacy is unaffected: disclosure is a rank property of the linear
+  // system, independent of the noise magnitudes.
+  std::vector<proto::Aggregate> coeffs(m > 0 ? m - 1 : 0);
+  double scale_t = coeff_scale;
+  for (auto& c : coeffs) {
+    scale_t /= x_max;
+    c.count = rng.uniform(-scale_t, scale_t);
+    c.sum = rng.uniform(-scale_t, scale_t);
+    c.sum_sq = rng.uniform(-scale_t, scale_t);
+  }
+  std::vector<proto::Aggregate> shares(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    // Horner evaluation of each component polynomial at seeds[j].
+    proto::Aggregate acc;  // zero
+    for (std::size_t t = coeffs.size(); t-- > 0;) {
+      acc.count = acc.count * seeds[j] + coeffs[t].count;
+      acc.sum = acc.sum * seeds[j] + coeffs[t].sum;
+      acc.sum_sq = acc.sum_sq * seeds[j] + coeffs[t].sum_sq;
+    }
+    shares[j].count = acc.count * seeds[j] + value.count;
+    shares[j].sum = acc.sum * seeds[j] + value.sum;
+    shares[j].sum_sq = acc.sum_sq * seeds[j] + value.sum_sq;
+  }
+  return shares;
+}
+
+std::vector<double> lagrange_weights_at_zero(const std::vector<double>& seeds) {
+  if (!seeds_valid(seeds)) return {};
+  const std::size_t m = seeds.size();
+  std::vector<double> w(m, 1.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == j) continue;
+      w[j] *= seeds[k] / (seeds[k] - seeds[j]);
+    }
+  }
+  return w;
+}
+
+std::optional<proto::Aggregate> solve_cluster_sum(
+    const std::vector<double>& seeds, const std::vector<proto::Aggregate>& assembled) {
+  if (seeds.size() != assembled.size()) return std::nullopt;
+  const auto w = lagrange_weights_at_zero(seeds);
+  if (w.empty()) return std::nullopt;
+  proto::Aggregate v;
+  for (std::size_t j = 0; j < seeds.size(); ++j) {
+    v.count += w[j] * assembled[j].count;
+    v.sum += w[j] * assembled[j].sum;
+    v.sum_sq += w[j] * assembled[j].sum_sq;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Exact path.
+
+namespace {
+
+// __extension__ silences -Wpedantic: __int128 is a GCC/Clang extension
+// we rely on for the exact rational interpolation path.
+__extension__ typedef __int128 Int128;
+
+Int128 gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Minimal exact rational on 128-bit integers; magnitudes in the CPDA
+/// use stay far below overflow (seeds <= ~16, values <= 2^40).
+struct Fraction {
+  Int128 num = 0;
+  Int128 den = 1;
+
+  void normalize() {
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const Int128 g = gcd128(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+  }
+
+  Fraction& operator+=(const Fraction& o) {
+    num = num * o.den + o.num * den;
+    den *= o.den;
+    normalize();
+    return *this;
+  }
+
+  friend Fraction operator*(const Fraction& a, const Fraction& b) {
+    Fraction r{a.num * b.num, a.den * b.den};
+    r.normalize();
+    return r;
+  }
+};
+
+bool seeds_valid_exact(const std::vector<std::int64_t>& seeds) {
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (seeds[i] == 0) return false;
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      if (seeds[i] == seeds[j]) return false;
+    }
+  }
+  return !seeds.empty();
+}
+
+}  // namespace
+
+ExactShareSet make_shares_exact(std::int64_t value,
+                                const std::vector<std::int64_t>& seeds,
+                                sim::Rng& rng, std::int64_t coeff_bound) {
+  const std::size_t m = seeds.size();
+  std::vector<std::int64_t> coeffs(m > 0 ? m - 1 : 0);
+  for (auto& c : coeffs) c = rng.range(-coeff_bound, coeff_bound);
+  ExactShareSet out;
+  out.shares.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    Int128 acc = 0;
+    for (std::size_t t = coeffs.size(); t-- > 0;) {
+      acc = acc * seeds[j] + coeffs[t];
+    }
+    acc = acc * seeds[j] + value;
+    out.shares[j] = static_cast<std::int64_t>(acc);
+  }
+  return out;
+}
+
+std::optional<std::int64_t> solve_cluster_sum_exact(
+    const std::vector<std::int64_t>& seeds, const std::vector<std::int64_t>& assembled) {
+  if (seeds.size() != assembled.size() || !seeds_valid_exact(seeds)) return std::nullopt;
+  const std::size_t m = seeds.size();
+  Fraction total;
+  for (std::size_t j = 0; j < m; ++j) {
+    Fraction w{1, 1};
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == j) continue;
+      w = w * Fraction{seeds[k], seeds[k] - seeds[j]};
+    }
+    total += w * Fraction{assembled[j], 1};
+  }
+  total.normalize();
+  if (total.den != 1) return std::nullopt;  // corrupted inputs
+  return static_cast<std::int64_t>(total.num);
+}
+
+// ---------------------------------------------------------------------
+
+net::Bytes ShareBody::to_bytes() const {
+  net::WireWriter w;
+  w.u32(query_id);
+  share.write(w);
+  return std::move(w).take();
+}
+
+std::optional<ShareBody> ShareBody::from_bytes(const net::Bytes& b) {
+  try {
+    net::WireReader r(b);
+    ShareBody body;
+    body.query_id = r.u32();
+    body.share = proto::Aggregate::read(r);
+    return body;
+  } catch (const net::WireError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace icpda::core

@@ -1,0 +1,91 @@
+// CPDA share algebra: additive polynomial secret sharing within a
+// cluster (He et al., INFOCOM'07; the privacy core of the ICDCS'09
+// cluster protocol).
+//
+// Cluster of m members with public, distinct, non-zero seeds x_1..x_m.
+// Member i holding private value v_i draws random coefficients
+// r_{i,1..m-1} and forms the polynomial
+//     p_i(x) = v_i + r_{i,1} x + ... + r_{i,m-1} x^(m-1).
+// It sends p_i(x_j) encrypted to member j (keeping p_i(x_i)). Member j
+// assembles F_j = sum_i p_i(x_j) = P(x_j) where P = sum_i p_i is again
+// a degree-(m-1) polynomial whose constant term is the cluster sum
+// V = sum_i v_i. Once all m assembled values are public, anyone can
+// interpolate P and read off V = P(0) — while any m-2 colluding
+// members still cannot isolate an individual v_i.
+//
+// Values in this repository are aggregate triples (count, sum, sum_sq),
+// so three independent polynomials run side by side — the API works on
+// whole proto::Aggregate triples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/wire.h"
+#include "proto/aggregate.h"
+#include "sim/rng.h"
+
+namespace icpda::core {
+
+/// Canonical public seeds for a cluster of size m: the integers 1..m.
+/// Small distinct integers keep the Vandermonde system well conditioned
+/// (m stays single-digit in practice: E[m] = 1/pc).
+[[nodiscard]] std::vector<double> default_seeds(std::size_t m);
+
+/// Evaluations p(x_j) of the sharing polynomial for one private triple.
+/// Element j of the result is the share destined for the member with
+/// seed seeds[j]. `coeff_scale` bounds the uniform random coefficients;
+/// privacy only needs them unpredictable, magnitude is a conditioning
+/// choice.
+[[nodiscard]] std::vector<proto::Aggregate> make_shares(
+    const proto::Aggregate& value, const std::vector<double>& seeds,
+    sim::Rng& rng, double coeff_scale = 1000.0);
+
+/// Recover the cluster sum V = P(0) from the m assembled values
+/// F_j = P(x_j) by Lagrange interpolation at zero. Returns nullopt if
+/// seeds are not distinct/non-zero or sizes mismatch.
+[[nodiscard]] std::optional<proto::Aggregate> solve_cluster_sum(
+    const std::vector<double>& seeds, const std::vector<proto::Aggregate>& assembled);
+
+/// Lagrange-at-zero weights w_j with P(0) = sum_j w_j F_j; exposed for
+/// the analysis module and tests. Empty on invalid seeds.
+[[nodiscard]] std::vector<double> lagrange_weights_at_zero(
+    const std::vector<double>& seeds);
+
+// ---------------------------------------------------------------------
+// Exact integer path.
+//
+// The floating solve above is what a sensor would run. For tests and
+// for bit-exactness arguments we also provide the same algebra over
+// scaled 64-bit integers with exact rational interpolation (128-bit
+// intermediates). Shares are integers; the recovered sum is exact.
+
+struct ExactShareSet {
+  /// shares[j] = p(x_j) with integer coefficients.
+  std::vector<std::int64_t> shares;
+};
+
+[[nodiscard]] ExactShareSet make_shares_exact(std::int64_t value,
+                                              const std::vector<std::int64_t>& seeds,
+                                              sim::Rng& rng,
+                                              std::int64_t coeff_bound = 1'000'000);
+
+/// Exact recovery of V from integer F_j at integer seeds. Returns
+/// nullopt on invalid seeds or if the result is provably non-integral
+/// (which indicates corrupted inputs).
+[[nodiscard]] std::optional<std::int64_t> solve_cluster_sum_exact(
+    const std::vector<std::int64_t>& seeds, const std::vector<std::int64_t>& assembled);
+
+// ---------------------------------------------------------------------
+// Wire body of one encrypted share message (sealed inside ShareMsg).
+
+struct ShareBody {
+  std::uint32_t query_id = 0;
+  proto::Aggregate share;
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<ShareBody> from_bytes(const net::Bytes& b);
+};
+
+}  // namespace icpda::core

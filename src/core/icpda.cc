@@ -1,0 +1,947 @@
+#include "core/icpda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "crypto/cipher.h"
+#include "sim/log.h"
+
+namespace icpda::core {
+
+using proto::Aggregate;
+using proto::AlarmMsg;
+using proto::ClusterDigestMsg;
+using proto::ClusterHelloMsg;
+using proto::ClusterRosterMsg;
+using proto::FAnnounceMsg;
+using proto::HelloMsg;
+using proto::JoinMsg;
+using proto::ReportMsg;
+using proto::ShareMsg;
+
+// ---------------------------------------------------------------------
+// Start & query dissemination
+
+void IcpdaApp::start(net::Node& node) {
+  if (!node.is_base_station()) return;
+  joined_ = true;
+  node.schedule(sim::seconds(config_.timing.start_delay_s), [this, &node] {
+    HelloMsg hello;
+    hello.query_id = config_.query_id;
+    hello.hop = 0;
+    hello.allowed_mask = config_.allowed_mask;
+    query_ = hello;
+    node.broadcast(proto::kHello, hello.to_bytes());
+    node.metrics().add("icpda.query_issued");
+    const auto close_at =
+        sim::seconds(config_.phase2_budget_s) + config_.timing.close_delay();
+    node.schedule(close_at, [this, &node] { close_epoch(node); });
+  });
+}
+
+void IcpdaApp::on_receive(net::Node& node, const net::Frame& frame) {
+  switch (frame.type) {
+    case proto::kHello:
+      handle_hello(node, frame);
+      break;
+    case proto::kClusterHello:
+      handle_cluster_hello(node, frame);
+      break;
+    case proto::kJoin:
+      handle_join(node, frame);
+      break;
+    case proto::kClusterRoster:
+      handle_roster(node, frame);
+      break;
+    case proto::kShare:
+      handle_share(node, frame);
+      break;
+    case proto::kFAnnounce:
+      handle_f_announce(node, frame);
+      break;
+    case proto::kClusterDigest:
+      handle_digest(node, frame);
+      break;
+    case proto::kClusterReport:
+      handle_report(node, frame);
+      break;
+    case proto::kAlarm:
+      handle_alarm(node, frame);
+      break;
+    default:
+      break;
+  }
+}
+
+void IcpdaApp::on_overhear(net::Node& node, const net::Frame& frame) {
+  switch (frame.type) {
+    case proto::kClusterReport:
+      overhear_report(node, frame);
+      break;
+    case proto::kAlarm:
+      // Alarms are broadcast, so they arrive via on_receive; nothing
+      // extra to do on the promiscuous path.
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Phase I — tree join + cluster formation
+
+void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
+  if (node.is_base_station()) return;
+  const auto hello = HelloMsg::from_bytes(frame.payload);
+  if (!hello || hello->query_id != config_.query_id) return;
+  if (hello->hop >= config_.timing.max_hops) {
+    node.metrics().add("icpda.hop_budget_exceeded");
+    return;
+  }
+
+  if (frame.src != 0) hello_sources_.insert(frame.src);
+
+  // Forward the flood exactly once, participating or not: excluded
+  // nodes still carry the control plane (else the query cannot reach
+  // past them), they just cannot be parents or aggregators.
+  if (!flood_forwarded_) {
+    flood_forwarded_ = true;
+    query_ = *hello;
+    HelloMsg rebroadcast = *hello;
+    rebroadcast.hop = static_cast<std::uint16_t>(hello->hop + 1);
+    const auto jitter =
+        sim::seconds(node.rng().uniform(0.0, config_.timing.hello_jitter_s));
+    node.schedule(jitter, [&node, payload = rebroadcast.to_bytes()]() mutable {
+      node.broadcast(proto::kHello, std::move(payload));
+    });
+  }
+
+  // Tree join: only via a participating parent (the BS, id 0, always
+  // participates), and only if we participate ourselves.
+  if (joined_) return;
+  if (!hello->allows(node.id())) return;  // excluded this round
+  if (frame.src != 0 && !hello->allows(frame.src)) {
+    node.metrics().add("icpda.parent_excluded");
+    return;  // wait for a hello from a participating node
+  }
+
+  joined_ = true;
+  parent_ = frame.src;
+  hop_ = static_cast<std::uint16_t>(hello->hop + 1);
+  allowed_aggregator_ = true;
+  join_time_ = node.now();
+  node.metrics().add("icpda.joined_tree");
+
+  // Immediate self-election (the CPDA rule: on hearing the query a
+  // node becomes a cluster head with probability pc). A compromised
+  // node ignores the coin and grabs the aggregator role. In adaptive
+  // mode the decision is deferred to decide_role so the density
+  // estimate (hello_sources_) can accumulate during join_delay.
+  const bool grabs_role = attack_ && attack_->active() &&
+                          attack_->force_head && attack_->is_polluter(node.id());
+  if (grabs_role || (!config_.adaptive_pc && node.rng().bernoulli(config_.pc))) {
+    become_head(node);
+  } else {
+    node.schedule(sim::seconds(config_.join_delay_s),
+                  [this, &node] { decide_role(node, 1); });
+  }
+
+  // Phase III slot, fixed relative to tree join.
+  const auto report_at = sim::seconds(config_.phase2_budget_s) +
+                         config_.timing.report_delay(hop_);
+  node.schedule(report_at, [this, &node] { send_report(node); });
+}
+
+void IcpdaApp::become_head(net::Node& node) {
+  role_ = ClusterRole::kHead;
+  if (outcome_) ++outcome_->heads;
+  node.metrics().add("icpda.head");
+  ClusterHelloMsg msg;
+  msg.query_id = config_.query_id;
+  msg.head = node.id();
+  msg.hop = hop_;
+  const auto jitter =
+      sim::seconds(node.rng().uniform(0.0, config_.timing.hello_jitter_s));
+  node.schedule(jitter, [&node, payload = msg.to_bytes()]() mutable {
+    node.broadcast(proto::kClusterHello, std::move(payload));
+  });
+  // Stagger roster closing across heads so the cluster phases of
+  // neighbouring clusters do not all contend at the same instants.
+  node.schedule(jitter + sim::seconds(config_.roster_delay_s +
+                                      node.rng().uniform(0.0, 0.4)),
+                [this, &node] { close_roster(node); });
+}
+
+void IcpdaApp::handle_cluster_hello(net::Node& node, const net::Frame& frame) {
+  const auto msg = ClusterHelloMsg::from_bytes(frame.payload);
+  if (!msg || msg->query_id != config_.query_id) return;
+  if (msg->head == node.id()) return;
+  if (!query_.allows(msg->head)) {
+    // A node barred from aggregating announced itself as a head:
+    // ignore it (receiver-side enforcement of the participation mask).
+    node.metrics().add("icpda.head_excluded_ignored");
+    return;
+  }
+  if (std::find(heard_heads_.begin(), heard_heads_.end(), msg->head) ==
+      heard_heads_.end()) {
+    heard_heads_.push_back(msg->head);
+  }
+}
+
+void IcpdaApp::send_join(net::Node& node) {
+  // Join a uniformly random cluster among those heard (CPDA rule).
+  chosen_head_ = heard_heads_[node.rng().below(heard_heads_.size())];
+  role_ = ClusterRole::kMember;
+  ++join_attempts_;
+  JoinMsg join;
+  join.query_id = config_.query_id;
+  join.member = node.id();
+  join.head = chosen_head_;
+  const auto jitter = sim::seconds(node.rng().uniform(0.0, config_.join_jitter_s));
+  node.schedule(jitter, [this, &node, payload = join.to_bytes()]() mutable {
+    node.send(chosen_head_, proto::kJoin, std::move(payload));
+  });
+  node.metrics().add("icpda.join_sent");
+  node.schedule(sim::seconds(config_.roster_timeout_s), [this, &node] {
+    if (role_ == ClusterRole::kMember && !cluster_.has_roster()) {
+      node.metrics().add("icpda.roster_missed");
+      retry_or_give_up(node);
+    }
+  });
+}
+
+void IcpdaApp::retry_or_give_up(net::Node& node) {
+  // Drop the head that failed us; try another if the budget allows.
+  std::erase(heard_heads_, chosen_head_);
+  if (join_attempts_ <= config_.rejoin_attempts && !heard_heads_.empty()) {
+    node.metrics().add("icpda.rejoin");
+    role_ = ClusterRole::kUndecided;
+    send_join(node);
+    return;
+  }
+  role_ = ClusterRole::kUnclustered;
+  if (outcome_) ++outcome_->unclustered;
+  node.metrics().add("icpda.unclustered");
+}
+
+void IcpdaApp::decide_role(net::Node& node, std::uint32_t round) {
+  if (role_ != ClusterRole::kUndecided || node.is_base_station()) return;
+
+  if (!heard_heads_.empty()) {
+    send_join(node);
+    return;
+  }
+
+  if (!allowed_aggregator_) {
+    // Barred from aggregating and no head in range: excluded.
+    role_ = ClusterRole::kUnclustered;
+    if (outcome_) ++outcome_->unclustered;
+    node.metrics().add("icpda.excluded_no_head");
+    return;
+  }
+
+  if (round >= config_.max_join_rounds) {
+    become_head(node);  // last resort: lone head
+    return;
+  }
+  const double pc_eff =
+      config_.adaptive_pc
+          ? std::min(1.0, config_.adapt_k /
+                              std::max<std::size_t>(1, hello_sources_.size()))
+          : config_.pc;
+  if (node.rng().bernoulli(pc_eff)) {
+    become_head(node);
+    return;
+  }
+  node.schedule(sim::seconds(config_.join_delay_s),
+                [this, &node, round] { decide_role(node, round + 1); });
+}
+
+void IcpdaApp::handle_join(net::Node& node, const net::Frame& frame) {
+  if (role_ != ClusterRole::kHead || roster_sent_) return;
+  const auto join = JoinMsg::from_bytes(frame.payload);
+  if (!join || join->query_id != config_.query_id || join->head != node.id()) return;
+  if (!query_.allows(join->member)) {
+    node.metrics().add("icpda.join_excluded_ignored");
+    return;
+  }
+  if (std::find(joiners_.begin(), joiners_.end(), join->member) == joiners_.end()) {
+    joiners_.push_back(join->member);
+  }
+}
+
+void IcpdaApp::close_roster(net::Node& node) {
+  if (role_ != ClusterRole::kHead || roster_sent_) return;
+  roster_sent_ = true;
+
+  ClusterRosterMsg roster;
+  roster.query_id = config_.query_id;
+  roster.head = node.id();
+  roster.members.push_back(node.id());
+  // Cap the roster: the intra-cluster exchange is O(m^2) frames
+  // through this node's single radio. Excess joiners see a roster
+  // without themselves and re-join elsewhere.
+  const std::size_t cap =
+      std::max<std::size_t>(1, config_.max_cluster_size) - 1;
+  if (joiners_.size() > cap) {
+    node.rng().shuffle(joiners_);  // fairness: no id bias in who stays
+    node.metrics().add("icpda.joiners_rejected", joiners_.size() - cap);
+    joiners_.resize(cap);
+  }
+  for (const net::NodeId j : joiners_) roster.members.push_back(j);
+  const std::size_t m = roster.members.size();
+  if (outcome_) ++outcome_->cluster_sizes[static_cast<std::uint32_t>(m)];
+  node.metrics().observe("icpda.cluster_size", static_cast<double>(m));
+
+  if (m == 1) {
+    // Lone head: no share algebra possible.
+    switch (config_.small_cluster_policy) {
+      case SmallClusterPolicy::kClearReport:
+        clear_report_ = true;
+        cluster_value_ = Aggregate::of(readings_(node.id()));
+        if (outcome_) ++outcome_->degraded_privacy;
+        node.metrics().add("icpda.lone_head_clear");
+        break;
+      case SmallClusterPolicy::kDrop:
+        node.metrics().add("icpda.lone_head_dropped");
+        if (outcome_) ++outcome_->clusters_failed;
+        break;
+    }
+    return;
+  }
+
+  if (m < config_.min_cluster_size && outcome_) {
+    // The algebra still runs (m >= 2) but in-cluster peers can deduce
+    // each other's values: privacy degraded for every member.
+    outcome_->degraded_privacy += static_cast<std::uint32_t>(m);
+    node.metrics().add("icpda.small_cluster");
+  }
+
+  // Public seeds: a random permutation of 1..m (values are public; the
+  // permutation just avoids structural correlation with node ids).
+  std::vector<std::uint32_t> seeds(m);
+  for (std::size_t i = 0; i < m; ++i) seeds[i] = static_cast<std::uint32_t>(i + 1);
+  node.rng().shuffle(seeds);
+  roster.seeds = seeds;
+
+  // The roster broadcast has no ARQ: repeat it (members act on the
+  // first copy; the MAC's sequence numbers make repeats distinct).
+  for (std::uint32_t rep = 0; rep < std::max<std::uint32_t>(1, config_.roster_repeats);
+       ++rep) {
+    const auto at = sim::seconds(static_cast<double>(rep) * 0.04 +
+                                 node.rng().uniform(0.0, 0.02));
+    node.schedule(at, [&node, payload = roster.to_bytes()]() mutable {
+      node.broadcast(proto::kClusterRoster, std::move(payload));
+    });
+  }
+  node.metrics().add("icpda.roster_sent");
+
+  // The head is a member of its own cluster: install the roster and
+  // run Phase II alongside everyone else.
+  if (cluster_.set_roster(node.id(), roster.members, roster.seeds, node.id())) {
+    monitor_.set_target(node.id());
+    const std::size_t cluster_m = cluster_.size();
+    const auto jitter =
+        sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
+    node.schedule(jitter, [this, &node] { send_shares(node); });
+    node.schedule(sim::seconds(config_.assemble_at_s(cluster_m)),
+                  [this, &node] { announce_f(node); });
+    node.schedule(sim::seconds(config_.solve_at_s(cluster_m)),
+                  [this, &node] { solve_and_digest(node); });
+  }
+}
+
+void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
+  if (role_ != ClusterRole::kMember) return;
+  const auto roster = ClusterRosterMsg::from_bytes(frame.payload);
+  if (!roster || roster->query_id != config_.query_id) return;
+  if (roster->head != chosen_head_) return;
+  if (cluster_.has_roster()) return;
+
+  if (std::find(roster->members.begin(), roster->members.end(), node.id()) ==
+      roster->members.end()) {
+    // Our join was lost or the roster was full: try another head.
+    node.metrics().add("icpda.join_rejected");
+    retry_or_give_up(node);
+    return;
+  }
+  if (!cluster_.set_roster(roster->head, roster->members, roster->seeds, node.id())) {
+    role_ = ClusterRole::kUnclustered;
+    if (outcome_) ++outcome_->unclustered;
+    node.metrics().add("icpda.bad_roster");
+    return;
+  }
+  if (outcome_) ++outcome_->members;
+  monitor_.set_target(roster->head);
+  node.metrics().add("icpda.member");
+
+  // Shares that raced ahead of our roster copy are valid now.
+  for (const auto& [sender, share] : early_shares_) {
+    if (cluster_.in_roster(sender)) cluster_.record_share(sender, share);
+  }
+  early_shares_.clear();
+
+  const std::size_t cluster_m = cluster_.size();
+  const auto jitter =
+      sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
+  node.schedule(jitter, [this, &node] { send_shares(node); });
+  const auto announce_at = sim::seconds(
+      config_.assemble_at_s(cluster_m) + node.rng().uniform(0.0, config_.f_jitter_s));
+  node.schedule(announce_at, [this, &node] { announce_f(node); });
+}
+
+// ---------------------------------------------------------------------
+// Phase II — shares, assembly, digest
+
+void IcpdaApp::send_shares(net::Node& node) {
+  const Aggregate contribution = Aggregate::of(readings_(node.id()));
+  const auto seeds = cluster_.seed_values();
+  auto shares = make_shares(contribution, seeds, node.rng(), config_.coeff_scale);
+  const auto& members = cluster_.members();
+
+  cluster_.set_kept_share(shares[cluster_.my_index()]);
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    if (j == cluster_.my_index()) continue;
+    const net::NodeId peer = members[j];
+    const auto key = keys_->link_key(node.id(), peer);
+    if (!key) {
+      // No pairwise key with this member (possible under EG rings):
+      // the share cannot be protected, so it is not sent. The cluster
+      // will fail the consistency check unless everyone else also
+      // missed this member.
+      node.metrics().add("icpda.no_link_key");
+      continue;
+    }
+    ShareBody body{config_.query_id, shares[j]};
+    ShareMsg msg;
+    msg.query_id = config_.query_id;
+    msg.sender = node.id();
+    msg.recipient = peer;
+    msg.sealed = crypto::seal(*key, node.rng()(), body.to_bytes());
+    // Cluster members are all within range of the head but not
+    // necessarily of each other (the cluster is a star): member-to-
+    // member shares are relayed through the head. The share is sealed
+    // end-to-end under the pairwise key k_{sender,recipient}, so the
+    // relaying head carries ciphertext it cannot read.
+    const net::NodeId next_hop =
+        (role_ == ClusterRole::kHead || peer == cluster_.head()) ? peer
+                                                                 : cluster_.head();
+    node.send(next_hop, proto::kShare, msg.to_bytes());
+    node.metrics().add("icpda.share_sent");
+  }
+}
+
+void IcpdaApp::handle_share(net::Node& node, const net::Frame& frame) {
+  const auto msg = ShareMsg::from_bytes(frame.payload);
+  if (!msg || msg->query_id != config_.query_id) return;
+  if (msg->recipient != node.id()) {
+    // Relay leg of a member-to-member share: forward if we are the
+    // head of a cluster containing the recipient.
+    if (role_ == ClusterRole::kHead && cluster_.has_roster() &&
+        cluster_.in_roster(msg->recipient)) {
+      node.send(msg->recipient, proto::kShare, frame.payload);
+      node.metrics().add("icpda.share_relayed");
+    }
+    return;
+  }
+  if (f_sent_) {
+    node.metrics().add("icpda.share_late");
+    return;
+  }
+  const auto key = keys_->link_key(msg->sender, node.id());
+  if (!key) return;
+  const auto opened = crypto::open(*key, msg->sealed);
+  if (!opened) {
+    node.metrics().add("icpda.share_bad_auth");
+    return;
+  }
+  const auto body = ShareBody::from_bytes(*opened);
+  if (!body || body->query_id != config_.query_id) return;
+  if (!cluster_.has_roster()) {
+    // A peer's roster copy beat ours: hold the share until our roster
+    // arrives (it is authenticated by the pairwise key either way).
+    if (early_shares_.size() < 64) early_shares_[msg->sender] = body->share;
+    node.metrics().add("icpda.share_stashed");
+    return;
+  }
+  if (!cluster_.in_roster(msg->sender)) {
+    node.metrics().add("icpda.share_unexpected");
+    return;
+  }
+  cluster_.record_share(msg->sender, body->share);
+  node.metrics().add("icpda.share_received");
+}
+
+void IcpdaApp::announce_f(net::Node& node) {
+  if (!cluster_.has_roster() || f_sent_) return;
+  f_sent_ = true;
+  my_f_ = cluster_.assemble(my_f_contributors_);
+
+  FAnnounceMsg msg;
+  msg.query_id = config_.query_id;
+  msg.member = node.id();
+  msg.head = cluster_.head();
+  msg.f = my_f_;
+  msg.contributors = my_f_contributors_;
+
+  if (role_ == ClusterRole::kHead) {
+    // The head's own F goes straight into its context.
+    cluster_.record_announce(node.id(), my_f_, my_f_contributors_);
+  } else {
+    node.send(cluster_.head(), proto::kFAnnounce, msg.to_bytes());
+    node.metrics().add("icpda.f_sent");
+  }
+}
+
+void IcpdaApp::handle_f_announce(net::Node& node, const net::Frame& frame) {
+  if (role_ != ClusterRole::kHead) return;
+  const auto msg = FAnnounceMsg::from_bytes(frame.payload);
+  if (!msg || msg->query_id != config_.query_id || msg->head != node.id()) return;
+  cluster_.record_announce(msg->member, msg->f, msg->contributors);
+  node.metrics().add("icpda.f_received");
+}
+
+void IcpdaApp::solve_and_digest(net::Node& node) {
+  if (role_ != ClusterRole::kHead || clear_report_) return;
+  if (!cluster_.complete() || !cluster_.consistent()) {
+    node.metrics().add(cluster_.complete() ? "icpda.cluster_inconsistent"
+                                           : "icpda.cluster_incomplete");
+    if (outcome_) ++outcome_->clusters_failed;
+    return;
+  }
+  const auto v = cluster_.solve();
+  if (!v) {
+    node.metrics().add("icpda.solve_failed");
+    if (outcome_) ++outcome_->clusters_failed;
+    return;
+  }
+  cluster_value_ = *v;
+  monitor_.set_cluster_sum(*v);
+  node.metrics().add("icpda.cluster_solved");
+
+  // Consolidated digest so every member can verify & solve too.
+  ClusterDigestMsg digest;
+  digest.query_id = config_.query_id;
+  digest.head = node.id();
+  digest.members = cluster_.members();
+  digest.f_values = cluster_.announced_f_values();  // roster order
+  digest.contributors = cluster_.contributor_set();
+
+  for (std::uint32_t r = 0; r < std::max<std::uint32_t>(1, config_.f_repeats); ++r) {
+    const auto jitter = sim::seconds(
+        node.rng().uniform(0.0, config_.share_jitter_s) +
+        static_cast<double>(r) * 0.03);
+    node.schedule(jitter, [&node, payload = digest.to_bytes()]() mutable {
+      node.broadcast(proto::kClusterDigest, std::move(payload));
+    });
+  }
+}
+
+void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
+  if (role_ != ClusterRole::kMember || !cluster_.has_roster()) return;
+  const auto digest = ClusterDigestMsg::from_bytes(frame.payload);
+  if (!digest || digest->query_id != config_.query_id) return;
+  if (digest->head != cluster_.head()) return;
+  if (monitor_.knows_cluster_sum()) return;  // duplicate repeat
+  if (digest->members != cluster_.members() ||
+      digest->f_values.size() != digest->members.size()) {
+    node.metrics().add("icpda.digest_malformed");
+    return;
+  }
+
+  // Endorsement check 1: our own F entry must be exactly what we sent.
+  const std::size_t my_idx = cluster_.my_index();
+  if (f_sent_ && digest->f_values[my_idx] != my_f_) {
+    // Provable forgery by the head.
+    node.metrics().add("icpda.digest_forged_f");
+    raise_alarm(node, cluster_.head(), AlarmMsg::kValueTamper, my_f_.sum,
+                digest->f_values[my_idx].sum);
+    return;
+  }
+  // Endorsement check 2: the claimed common contributor set must match
+  // our own assembly (otherwise we cannot vouch for the solution).
+  if (f_sent_ && digest->contributors != my_f_contributors_) {
+    node.metrics().add("icpda.digest_contributor_mismatch");
+    return;
+  }
+
+  const auto v = solve_cluster_sum(cluster_.seed_values(), digest->f_values);
+  if (!v) {
+    node.metrics().add("icpda.digest_unsolvable");
+    return;
+  }
+  cluster_value_ = *v;
+  monitor_.set_cluster_sum(*v);
+  node.metrics().add("icpda.witness_armed");
+}
+
+// ---------------------------------------------------------------------
+// Phase III — up-tree aggregation + peer monitoring
+
+void IcpdaApp::handle_report(net::Node& node, const net::Frame& frame) {
+  const auto report = ReportMsg::from_bytes(frame.payload);
+  if (!report || report->query_id != config_.query_id) return;
+  if (frame.src != 0 && !query_.allows(frame.src)) {
+    // Excluded nodes must not inject aggregation traffic.
+    node.metrics().add("icpda.report_from_excluded");
+    return;
+  }
+
+  // Reporter-level dedupe: a report instance is identified by its
+  // reporter id (one aggregate per node per epoch). Re-hands from a
+  // watchdog miss and app-level retransmissions would otherwise be
+  // merged twice — silently corrupting the sum.
+  const bool already_merged =
+      std::any_of(items_.begin(), items_.end(), [&](const proto::ReportItem& it) {
+        return it.id == report->reporter;
+      });
+
+  if (node.is_base_station()) {
+    if (already_merged) {
+      node.metrics().add("icpda.report_duplicate");
+      return;
+    }
+    pending_.merge(report->aggregate);
+    items_.push_back(proto::ReportItem{report->reporter, report->aggregate});
+    node.metrics().add("icpda.report_at_bs");
+    return;
+  }
+
+  // Only cluster heads aggregate (their members witness-audit them);
+  // everyone else forwards verbatim so the watchdog check is exact.
+  if (role_ == ClusterRole::kHead && !reported_) {
+    if (already_merged) {
+      node.metrics().add("icpda.report_duplicate");
+      return;
+    }
+    pending_.merge(report->aggregate);
+    items_.push_back(proto::ReportItem{report->reporter, report->aggregate});
+    node.metrics().add("icpda.report_merged");
+    return;
+  }
+  if (role_ == ClusterRole::kHead && already_merged) {
+    // A re-hand for something we already claimed in our (sent) report:
+    // re-emit verbatim so the child's watchdog can see the hand-off.
+    forward_verbatim(node, frame);
+    return;
+  }
+  forward_verbatim(node, frame);
+}
+
+void IcpdaApp::forward_verbatim(net::Node& node, const net::Frame& frame) {
+  if (!joined_) return;
+  auto report = ReportMsg::from_bytes(frame.payload);
+  if (!report) return;
+
+  net::Bytes payload = frame.payload;
+  if (attack_ && attack_->is_polluter(node.id())) {
+    // A compromised relay tampers with the values it is asked to carry.
+    report->aggregate.sum += attack_->delta;
+    if (attack_->pollute_count) report->aggregate.count += attack_->delta;
+    payload = report->to_bytes();
+    node.metrics().add("icpda.pollution_injected");
+    if (outcome_) ++outcome_->pollution_events;
+  }
+
+  // A repeat hand-off (the child missed our first transmission and
+  // re-handed): re-transmit so the child can overhear, but do NOT arm
+  // another expectation of our own — our duty upward was discharged by
+  // the first forward. Without this, re-hands cascade up the whole
+  // path and congestion feeds on itself.
+  for (const auto& exp : watchdog_) {
+    if (exp.payload == payload) {
+      node.send(parent_, proto::kClusterReport, payload);
+      node.metrics().add("icpda.report_reforwarded");
+      return;
+    }
+  }
+  dispatch_up(node, *report, payload);
+  node.metrics().add("icpda.report_forwarded");
+}
+
+void IcpdaApp::dispatch_up(net::Node& node, const ReportMsg& report,
+                           const net::Bytes& payload) {
+  node.send(parent_, proto::kClusterReport, payload);
+  if (parent_ != 0) {
+    // Track the hand-off even with the watchdog disabled: the record
+    // also drives the app-level retransmission in on_send_failed.
+    expect_forward(node, report.reporter, payload, /*attempt=*/1);
+  }
+}
+
+void IcpdaApp::send_report(net::Node& node) {
+  if (reported_ || node.is_base_station() || !joined_) return;
+  reported_ = true;
+
+  if (role_ != ClusterRole::kHead) {
+    // Members and unclustered nodes originate nothing: their readings
+    // travel inside cluster sums; in-transit reports were forwarded
+    // verbatim on arrival.
+    return;
+  }
+
+  ReportMsg report;
+  report.query_id = config_.query_id;
+  report.reporter = node.id();
+  report.aggregate = pending_;
+  report.items = items_;
+
+  if (cluster_value_) {
+    // The head's own cluster sum rides as an item under its own id.
+    report.aggregate.merge(*cluster_value_);
+    report.items.push_back(proto::ReportItem{node.id(), *cluster_value_});
+  }
+
+  const bool polluting = attack_ && attack_->is_polluter(node.id());
+  if (polluting && !report.items.empty()) {
+    // The attacker must corrupt a concrete item (the itemized format
+    // makes total-only smearing trivially detectable); the naive
+    // attacker modelled here inflates its own cluster item if it has
+    // one, else the first child item, and keeps the total consistent.
+    auto& victim = report.items.back();
+    victim.value.sum += attack_->delta;
+    report.aggregate.sum += attack_->delta;
+    if (attack_->pollute_count) {
+      victim.value.count += attack_->delta;
+      report.aggregate.count += attack_->delta;
+    }
+    node.metrics().add("icpda.pollution_injected");
+    if (outcome_) ++outcome_->pollution_events;
+  }
+
+  if (report.items.empty()) {
+    // Failed cluster and no child inputs: nothing to carry.
+    node.metrics().add("icpda.report_skipped");
+    return;
+  }
+  dispatch_up(node, report, report.to_bytes());
+  node.metrics().add("icpda.report_sent");
+  if (outcome_) ++outcome_->reporters;
+}
+
+void IcpdaApp::expect_forward(net::Node& node, net::NodeId reporter,
+                              net::Bytes payload, std::uint32_t attempt) {
+  watchdog_.push_back(Expectation{reporter, std::move(payload),
+                                  !config_.watchdog_enabled, false, attempt});
+  if (!config_.watchdog_enabled) return;  // record kept for retries only
+  const std::size_t idx = watchdog_.size() - 1;
+  // The parent may legitimately hold the data until its own report
+  // slot (it aggregates if it is a head): the deadline must cover that
+  // slot — computed from the parent's hop = ours - 1 — plus grace.
+  const std::uint16_t parent_hop = hop_ > 0 ? static_cast<std::uint16_t>(hop_ - 1) : 0;
+  const sim::SimTime parent_slot = join_time_ +
+                                   sim::seconds(config_.phase2_budget_s) +
+                                   config_.timing.report_delay(parent_hop);
+  const sim::SimTime fire_at =
+      std::max(node.now(), parent_slot) + sim::seconds(config_.watchdog_timeout_s);
+  node.schedule(fire_at - node.now(), [this, &node, idx] {
+    if (idx >= watchdog_.size() || watchdog_[idx].satisfied) return;
+    watchdog_[idx].satisfied = true;  // this entry's verdict is final
+    const auto exp = watchdog_[idx];
+    if (exp.send_attempts < 3 && rehands_used_ < kMaxRehandsPerEpoch) {
+      // First miss: we may simply have failed to overhear the hand-off
+      // (collision at us). Re-hand the report — an honest parent
+      // re-forwards or re-claims it; only a second miss alarms. The
+      // per-epoch budget keeps a congested neighbourhood from feeding
+      // on its own retransmissions.
+      ++rehands_used_;
+      node.metrics().add("icpda.watchdog_rehand");
+      node.send(parent_, proto::kClusterReport, exp.payload);
+      expect_forward(node, exp.reporter, exp.payload, /*attempt=*/3);
+      return;
+    }
+    // The MAC confirmed both deliveries and the parent still never
+    // forwarded or claimed the data: that is willful dropping.
+    node.metrics().add("icpda.watchdog_alarm");
+    node.metrics().add(parent_reports_overheard_ > 0
+                           ? "icpda.watchdog_alarm_parent_active"
+                           : "icpda.watchdog_alarm_parent_silent");
+    ICPDA_LOG(kWarn) << "watchdog alarm: node=" << node.id() << " parent="
+                     << parent_ << " reporter=" << exp.reporter
+                     << " t=" << node.now().seconds();
+    raise_alarm(node, parent_, AlarmMsg::kDropSuspect,
+                /*expected=*/1.0, /*observed=*/0.0);
+  });
+}
+
+void IcpdaApp::on_send_failed(net::Node& node, const net::Frame& frame) {
+  if (frame.type != proto::kClusterReport) return;
+  node.metrics().add("icpda.report_send_failed");
+  for (auto& exp : watchdog_) {
+    // Find the live expectation for this payload. Our own unicast
+    // never reached the parent, so no alarm is warranted — cancel it
+    // and retry once after the congestion that killed the MAC's
+    // retries has had time to clear.
+    if (exp.payload != frame.payload || exp.failure_handled) continue;
+    exp.failure_handled = true;
+    exp.satisfied = true;
+    const std::uint32_t attempt = exp.send_attempts + 1;
+    if (attempt > 2) {
+      node.metrics().add("icpda.report_lost");
+      return;
+    }
+    node.schedule(
+        sim::seconds(0.1 + node.rng().uniform(0.0, 0.1)),
+        [this, &node, reporter = exp.reporter, payload = exp.payload, attempt] {
+          node.send(parent_, proto::kClusterReport, payload);
+          if (parent_ != 0) expect_forward(node, reporter, payload, attempt);
+          node.metrics().add("icpda.report_retried");
+        });
+    return;
+  }
+}
+
+void IcpdaApp::check_watchdog(net::Node& node, const ReportMsg& report,
+                              const net::Bytes& payload) {
+  for (auto& exp : watchdog_) {
+    if (exp.satisfied) continue;
+    // (a) verbatim forward, or (b) the parent is a head and its own
+    // aggregate claims our reporter as a contributor.
+    if (payload == exp.payload) {
+      exp.satisfied = true;
+      continue;
+    }
+    if (report.reporter == parent_ && report.claims(exp.reporter)) {
+      exp.satisfied = true;
+      continue;
+    }
+    // (c) the parent re-emitted OUR reporter's record with different
+    // bytes: that is provable in-transit tampering, not loss.
+    if (report.reporter == exp.reporter && report.reporter != parent_) {
+      const auto original = ReportMsg::from_bytes(exp.payload);
+      exp.satisfied = true;  // verdict reached either way
+      node.metrics().add("icpda.watchdog_tamper");
+      raise_alarm(node, parent_, AlarmMsg::kValueTamper,
+                  original ? original->aggregate.sum : 0.0,
+                  report.aggregate.sum);
+    }
+  }
+}
+
+void IcpdaApp::overhear_report(net::Node& node, const net::Frame& frame) {
+  const auto report = ReportMsg::from_bytes(frame.payload);
+  if (!report || report->query_id != config_.query_id) return;
+
+  // Watchdog: anything our tree parent transmits may satisfy our
+  // pending forward expectations.
+  if (frame.src == parent_) {
+    ++parent_reports_overheard_;
+    if (!watchdog_.empty()) check_watchdog(node, *report, frame.payload);
+  }
+
+  // Witness monitoring (cluster members only).
+  if (role_ != ClusterRole::kMember || monitor_.target() == net::kNoNode) return;
+
+  if (frame.dst == monitor_.target()) {
+    // An input arriving at our head.
+    monitor_.record_input(*report, node.now());
+    return;
+  }
+  if (frame.src == monitor_.target() && report->reporter == monitor_.target()) {
+    // Our head's own aggregated report: audit it. (Verbatim forwards
+    // by the head keep the original reporter and are covered by the
+    // originator's watchdog instead.)
+    const auto verdict = monitor_.audit(*report, node.now());
+    switch (verdict.kind) {
+      case WitnessMonitor::Verdict::Kind::kClean:
+        node.metrics().add("icpda.audit_clean");
+        break;
+      case WitnessMonitor::Verdict::Kind::kPartialClean:
+        node.metrics().add("icpda.audit_partial_clean");
+        break;
+      case WitnessMonitor::Verdict::Kind::kNoKnowledge:
+        node.metrics().add("icpda.audit_no_knowledge");
+        break;
+      case WitnessMonitor::Verdict::Kind::kMismatch:
+        node.metrics().add("icpda.audit_alarm");
+        raise_alarm(node, monitor_.target(), AlarmMsg::kValueTamper,
+                    verdict.expected_sum, verdict.observed_sum);
+        break;
+      case WitnessMonitor::Verdict::Kind::kOmission:
+        // An input we heard is missing from the head's claim. The head
+        // may genuinely never have received it (collision at the head
+        // while we heard it cleanly), so -- like relay drops -- this is
+        // advisory: it feeds rerouting/reputation, and deliberate
+        // VALUE changes remain the epoch-rejecting offence. The child
+        // itself tracks the fate of its data via the watchdog.
+        node.metrics().add("icpda.audit_omission");
+        raise_alarm(node, monitor_.target(), AlarmMsg::kDropSuspect,
+                    verdict.expected_sum, verdict.observed_sum);
+        break;
+    }
+  }
+}
+
+void IcpdaApp::raise_alarm(net::Node& node, net::NodeId accused,
+                           AlarmMsg::Kind kind, double expected, double observed) {
+  // One alarm per accused node per epoch: repeated evidence against
+  // the same neighbour adds nothing and alarm floods are expensive.
+  if (!alarms_forwarded_.insert({node.id(), accused}).second) return;
+  AlarmMsg alarm;
+  alarm.query_id = config_.query_id;
+  alarm.kind = kind;
+  alarm.witness = node.id();
+  alarm.accused = accused;
+  alarm.expected_sum = expected;
+  alarm.observed_sum = observed;
+  node.broadcast(proto::kAlarm, alarm.to_bytes());
+  node.metrics().add("icpda.alarm_raised");
+}
+
+void IcpdaApp::handle_alarm(net::Node& node, const net::Frame& frame) {
+  const auto alarm = AlarmMsg::from_bytes(frame.payload);
+  if (!alarm || alarm->query_id != config_.query_id) return;
+
+  if (node.is_base_station()) {
+    // The flood delivers many copies of one alarm: dedupe here too.
+    const auto key = std::make_pair(alarm->witness, alarm->accused);
+    if (!alarms_forwarded_.insert(key).second) return;
+    if (outcome_) {
+      outcome_->alarms.push_back(*alarm);
+      if (alarm->kind == AlarmMsg::kDropSuspect) {
+        ++outcome_->drop_suspicions;
+      } else if (std::abs(alarm->expected_sum - alarm->observed_sum) > config_.th) {
+        ++outcome_->significant_alarms;
+      }
+    }
+    node.metrics().add("icpda.alarm_at_bs");
+    return;
+  }
+  // Flood: rebroadcast each distinct (witness, accused) once.
+  const auto key = std::make_pair(alarm->witness, alarm->accused);
+  if (alarms_forwarded_.insert(key).second) {
+    node.broadcast(proto::kAlarm, frame.payload);
+  }
+}
+
+void IcpdaApp::close_epoch(net::Node& node) {
+  reported_ = true;
+  if (outcome_) {
+    outcome_->result = pending_;
+    outcome_->closed_at = node.now();
+  }
+  node.metrics().add("icpda.epoch_closed");
+}
+
+// ---------------------------------------------------------------------
+
+IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
+                             const proto::ReadingProvider& readings,
+                             const crypto::KeyScheme& keys, const AttackPlan& attack) {
+  IcpdaOutcome outcome;
+  net.attach_apps([&](net::Node&) {
+    return std::make_unique<IcpdaApp>(config, readings, &keys, &attack, &outcome);
+  });
+  // Bounded horizon: the epoch is over shortly after the BS closes;
+  // whatever straggler events remain (late alarms, MAC drain) cannot
+  // matter beyond a grace period, and a hard bound keeps any
+  // congestion pathology from running the simulation forever.
+  const auto horizon = sim::seconds(config.timing.start_delay_s +
+                                    config.phase2_budget_s) +
+                       config.timing.close_delay() + sim::seconds(3.0);
+  net.run(horizon);
+  return outcome;
+}
+
+}  // namespace icpda::core

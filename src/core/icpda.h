@@ -1,0 +1,210 @@
+// iCPDA: the cluster-based integrity-enforcing, privacy-preserving
+// data aggregation protocol (the paper's contribution).
+//
+// One epoch runs three phases on top of the shared substrate:
+//
+//  Phase I   — the base station floods the query; every node joins the
+//              spanning tree, then self-elects cluster head with
+//              probability pc or joins a head it heard. Heads fix a
+//              roster + public seeds and broadcast it.
+//  Phase II  — CPDA share exchange inside each cluster: encrypted
+//              shares (member-to-member legs relayed through the head,
+//              sealed end-to-end), assembled F values unicast to the
+//              head, and a consolidated digest broadcast back, which
+//              every member endorses (its own entry must match) and
+//              from which every member interpolates the cluster sum.
+//  Phase III — heads inject their cluster sums into a TAG-style
+//              depth-scheduled ascent of the spanning tree with
+//              itemized reports; cluster members act as witnesses,
+//              overhear their head's inputs and output, and flood an
+//              ALARM on any value discrepancy; relays forward verbatim
+//              under the sender's watchdog. The base station rejects
+//              the epoch on any value-tamper alarm whose deviation
+//              exceeds Th.
+//
+// See DESIGN.md for the reconstruction notes (which details come from
+// the companion papers and which are engineering choices).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/config.h"
+#include "core/integrity.h"
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "proto/aggregate.h"
+#include "proto/epoch.h"
+#include "proto/messages.h"
+
+namespace icpda::core {
+
+/// Epoch outcome, written by the base station (plus per-node tallies
+/// written by everyone). One instance per epoch, owned by the driver.
+struct IcpdaOutcome {
+  std::optional<proto::Aggregate> result;
+  sim::SimTime closed_at;
+  std::vector<proto::AlarmMsg> alarms;
+  /// Value-tamper alarms whose |expected - observed| exceeded Th.
+  std::uint32_t significant_alarms = 0;
+  /// Advisory drop-suspicion alarms (watchdog): feed rerouting, do not
+  /// reject the epoch (a single watchdog cannot tell drop from loss).
+  std::uint32_t drop_suspicions = 0;
+  [[nodiscard]] bool accepted() const { return significant_alarms == 0; }
+
+  // Tallies (whole network).
+  std::uint32_t heads = 0;
+  std::uint32_t members = 0;
+  std::uint32_t unclustered = 0;
+  std::uint32_t reporters = 0;
+  /// Nodes whose values travelled with degraded privacy (clusters
+  /// below min_cluster_size under kClearReport, incl. lone heads).
+  std::uint32_t degraded_privacy = 0;
+  /// Clusters that failed Phase II (missing/inconsistent shares or F).
+  std::uint32_t clusters_failed = 0;
+  /// Times a polluter actually tampered with a value this epoch.
+  std::uint32_t pollution_events = 0;
+  /// Cluster size -> number of clusters (at roster time).
+  std::map<std::uint32_t, std::uint32_t> cluster_sizes;
+};
+
+class IcpdaApp final : public net::App {
+ public:
+  IcpdaApp(IcpdaConfig config, proto::ReadingProvider readings,
+           const crypto::KeyScheme* keys, const AttackPlan* attack,
+           IcpdaOutcome* outcome)
+      : config_(config),
+        readings_(std::move(readings)),
+        keys_(keys),
+        attack_(attack),
+        outcome_(outcome),
+        monitor_(WitnessMonitor::Config{config.witness_tolerance,
+                                        config.alarm_on_omission,
+                                        config.omission_guard_s}) {}
+
+  void start(net::Node& node) override;
+  void on_receive(net::Node& node, const net::Frame& frame) override;
+  void on_overhear(net::Node& node, const net::Frame& frame) override;
+  void on_send_failed(net::Node& node, const net::Frame& frame) override;
+
+  // Introspection for tests & the privacy auditor.
+  [[nodiscard]] ClusterRole role() const { return role_; }
+  [[nodiscard]] const ClusterContext& cluster() const { return cluster_; }
+  [[nodiscard]] std::optional<proto::Aggregate> cluster_value() const {
+    return cluster_value_;
+  }
+  [[nodiscard]] net::NodeId tree_parent() const { return parent_; }
+  [[nodiscard]] std::uint16_t hop() const { return hop_; }
+  [[nodiscard]] bool joined_tree() const { return joined_; }
+
+ private:
+  // Phase I.
+  void handle_hello(net::Node& node, const net::Frame& frame);
+  void handle_cluster_hello(net::Node& node, const net::Frame& frame);
+  void handle_join(net::Node& node, const net::Frame& frame);
+  void handle_roster(net::Node& node, const net::Frame& frame);
+  void decide_role(net::Node& node, std::uint32_t round);
+  void send_join(net::Node& node);
+  void retry_or_give_up(net::Node& node);
+  void become_head(net::Node& node);
+  void close_roster(net::Node& node);
+
+  // Phase II.
+  void handle_share(net::Node& node, const net::Frame& frame);
+  void send_shares(net::Node& node);
+  void announce_f(net::Node& node);
+  void handle_f_announce(net::Node& node, const net::Frame& frame);
+  void solve_and_digest(net::Node& node);
+  void handle_digest(net::Node& node, const net::Frame& frame);
+
+  // Phase III.
+  void handle_report(net::Node& node, const net::Frame& frame);
+  void send_report(net::Node& node);
+  void forward_verbatim(net::Node& node, const net::Frame& frame);
+  void dispatch_up(net::Node& node, const proto::ReportMsg& report,
+                   const net::Bytes& payload);
+  void overhear_report(net::Node& node, const net::Frame& frame);
+  void raise_alarm(net::Node& node, net::NodeId accused,
+                   proto::AlarmMsg::Kind kind, double expected, double observed);
+  void handle_alarm(net::Node& node, const net::Frame& frame);
+  void close_epoch(net::Node& node);
+
+  // Watchdog on the tree parent.
+  void expect_forward(net::Node& node, net::NodeId reporter, net::Bytes payload,
+                      std::uint32_t attempt);
+  void check_watchdog(net::Node& node, const proto::ReportMsg& report,
+                      const net::Bytes& payload);
+
+  IcpdaConfig config_;
+  proto::ReadingProvider readings_;
+  const crypto::KeyScheme* keys_;
+  const AttackPlan* attack_;
+  IcpdaOutcome* outcome_;
+
+  // Tree state.
+  bool joined_ = false;           ///< has a (participating) tree parent
+  bool flood_forwarded_ = false;  ///< re-broadcast the query once
+  net::NodeId parent_ = net::kNoNode;
+  std::uint16_t hop_ = 0;
+  bool allowed_aggregator_ = true;
+  proto::HelloMsg query_;  ///< the query as first heard (mask checks)
+  sim::SimTime join_time_; ///< when we joined the tree
+
+  // Cluster state.
+  ClusterRole role_ = ClusterRole::kUndecided;
+  /// Distinct neighbours whose query re-broadcast we heard; the
+  /// density estimate behind adaptive head election.
+  std::set<net::NodeId> hello_sources_;
+  std::vector<net::NodeId> heard_heads_;
+  net::NodeId chosen_head_ = net::kNoNode;
+  std::uint32_t join_attempts_ = 0;
+  std::vector<net::NodeId> joiners_;  ///< heads: members that joined us
+  bool roster_sent_ = false;
+  ClusterContext cluster_;
+  std::optional<proto::Aggregate> cluster_value_;
+  bool clear_report_ = false;  ///< lone head reporting in the clear
+
+  // Phase II state.
+  proto::Aggregate my_f_;                     ///< the F this node sent
+  std::vector<std::uint32_t> my_f_contributors_;
+  bool f_sent_ = false;
+  /// Shares that arrived before our roster did (decrypted, by sender);
+  /// replayed into the context once the roster is installed.
+  std::map<net::NodeId, proto::Aggregate> early_shares_;
+
+  // Phase III state.
+  proto::Aggregate pending_;  ///< inputs aggregated so far (heads/BS)
+  std::vector<proto::ReportItem> items_;  ///< itemized inputs (heads)
+  bool reported_ = false;
+  WitnessMonitor monitor_;
+  std::set<std::pair<net::NodeId, net::NodeId>> alarms_forwarded_;  ///< (witness, accused)
+
+  /// Watchdog expectations on the tree parent: after handing a report
+  /// up, the sender waits to overhear either a verbatim forward or an
+  /// aggregate claiming the reporter.
+  struct Expectation {
+    net::NodeId reporter;
+    net::Bytes payload;
+    bool satisfied = false;       ///< watchdog: no alarm needed
+    bool failure_handled = false; ///< retry bookkeeping (one per entry)
+    std::uint32_t send_attempts = 1;
+  };
+  std::vector<Expectation> watchdog_;
+  std::uint32_t parent_reports_overheard_ = 0;
+  static constexpr std::uint32_t kMaxRehandsPerEpoch = 4;
+  std::uint32_t rehands_used_ = 0;
+};
+
+/// Run one iCPDA epoch on `net`; `attack` may be empty (honest run).
+IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
+                             const proto::ReadingProvider& readings,
+                             const crypto::KeyScheme& keys,
+                             const AttackPlan& attack = {});
+
+}  // namespace icpda::core

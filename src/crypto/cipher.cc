@@ -1,0 +1,74 @@
+#include "crypto/cipher.h"
+
+#include <span>
+
+namespace icpda::crypto {
+
+namespace {
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const Bytes& in, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+/// XOR the PRF keystream for (key, nonce) into `data`.
+void keystream_xor(const Key& key, std::uint64_t nonce,
+                   std::span<std::uint8_t> data) {
+  Prf prf(key);
+  prf.absorb_u64(0x656E63ULL);  // "enc" domain separator
+  prf.absorb_u64(nonce);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t ks = prf.squeeze64();
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+  }
+}
+
+/// Authentication tag over (nonce, ciphertext).
+std::uint64_t auth_tag(const Key& key, std::uint64_t nonce,
+                       std::span<const std::uint8_t> ciphertext) {
+  Prf prf(key);
+  prf.absorb_u64(0x746167ULL);  // "tag" domain separator
+  prf.absorb_u64(nonce);
+  prf.absorb(ciphertext);
+  return prf.squeeze64();
+}
+
+}  // namespace
+
+Bytes seal(const Key& key, std::uint64_t nonce, const Bytes& plaintext) {
+  Bytes out;
+  out.reserve(plaintext.size() + kSealOverheadBytes);
+  put_u64(out, nonce);
+  out.insert(out.end(), plaintext.begin(), plaintext.end());
+  keystream_xor(key, nonce, std::span{out}.subspan(8));
+  const std::uint64_t tag =
+      auth_tag(key, nonce, std::span{out}.subspan(8, plaintext.size()));
+  put_u64(out, tag);
+  return out;
+}
+
+std::optional<Bytes> open(const Key& key, const Bytes& sealed) {
+  if (sealed.size() < kSealOverheadBytes) return std::nullopt;
+  const std::uint64_t nonce = get_u64(sealed, 0);
+  const std::size_t ct_len = sealed.size() - kSealOverheadBytes;
+  const std::uint64_t claimed = get_u64(sealed, 8 + ct_len);
+  const std::uint64_t expected =
+      auth_tag(key, nonce, std::span{sealed}.subspan(8, ct_len));
+  if (claimed != expected) return std::nullopt;
+  Bytes plain(sealed.begin() + 8,
+              sealed.begin() + 8 + static_cast<std::ptrdiff_t>(ct_len));
+  keystream_xor(key, nonce, std::span{plain});
+  return plain;
+}
+
+}  // namespace icpda::crypto

@@ -1,0 +1,33 @@
+// Authenticated link-level encryption for data shares.
+//
+// Sealed-message format:  nonce(8) || ciphertext(len) || tag(8)
+// The cipher is PRF-keystream XOR; the tag is a PRF over
+// (nonce, ciphertext) under a domain-separated key. Opening with the
+// wrong key fails the tag check with overwhelming probability, which
+// is how the eavesdropper model decides whether a captured frame is
+// readable. See prf.h for the security caveat (simulation-grade).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/prf.h"
+
+namespace icpda::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Ciphertext expansion of seal(): nonce + tag.
+inline constexpr std::size_t kSealOverheadBytes = 16;
+
+/// Encrypt-and-authenticate `plaintext` under `key` with a caller-
+/// supplied unique `nonce` (per-key uniqueness is the caller's job; the
+/// protocol layers use their per-node Rng).
+[[nodiscard]] Bytes seal(const Key& key, std::uint64_t nonce, const Bytes& plaintext);
+
+/// Verify-and-decrypt. Returns nullopt on tag mismatch (wrong key or
+/// corrupted message) or malformed input.
+[[nodiscard]] std::optional<Bytes> open(const Key& key, const Bytes& sealed);
+
+}  // namespace icpda::crypto

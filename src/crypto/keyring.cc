@@ -1,0 +1,85 @@
+#include "crypto/keyring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icpda::crypto {
+
+std::optional<Key> MasterPairwiseScheme::link_key(net::NodeId a, net::NodeId b) const {
+  if (a == b) return std::nullopt;
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return derive_key(master_, lo, hi);
+}
+
+EgPredistribution::EgPredistribution(std::size_t node_count, std::size_t pool_size,
+                                     std::size_t ring_size, sim::Rng rng)
+    : pool_size_(pool_size),
+      ring_size_(ring_size),
+      pool_master_(Key::from_seed(rng())),
+      rings_(node_count) {
+  if (ring_size == 0 || ring_size > pool_size) {
+    throw std::invalid_argument("EgPredistribution: need 0 < ring_size <= pool_size");
+  }
+  for (auto& ring : rings_) {
+    auto picks = rng.sample_indices(pool_size, ring_size);
+    ring.assign(picks.begin(), picks.end());
+    std::sort(ring.begin(), ring.end());
+    // sample_indices returns size_t; rings store u32 for wire-compat.
+    // pool sizes in all experiments are << 2^32.
+  }
+}
+
+Key EgPredistribution::pool_key(std::uint32_t key_id) const {
+  return derive_key(pool_master_, 0x706F6F6CULL /*"pool"*/, key_id);
+}
+
+std::optional<std::uint32_t> EgPredistribution::shared_key_id(net::NodeId a,
+                                                              net::NodeId b) const {
+  if (a == b) return std::nullopt;
+  const auto& ra = rings_.at(a);
+  const auto& rb = rings_.at(b);
+  // Both sorted: linear merge to find the smallest common id.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ra.size() && j < rb.size()) {
+    if (ra[i] == rb[j]) return ra[i];
+    if (ra[i] < rb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Key> EgPredistribution::link_key(net::NodeId a, net::NodeId b) const {
+  const auto id = shared_key_id(a, b);
+  if (!id) return std::nullopt;
+  return pool_key(*id);
+}
+
+bool EgPredistribution::third_party_can_read(net::NodeId a, net::NodeId b,
+                                             net::NodeId c) const {
+  if (c == a || c == b) return false;
+  const auto id = shared_key_id(a, b);
+  if (!id) return false;
+  const auto& rc = rings_.at(c);
+  return std::binary_search(rc.begin(), rc.end(), *id);
+}
+
+double EgPredistribution::connect_probability(std::size_t pool_size,
+                                              std::size_t ring_size) {
+  if (2 * ring_size > pool_size) return 1.0;
+  // 1 - C(P-k,k)/C(P,k) computed in log space for stability.
+  double log_ratio = 0.0;
+  for (std::size_t i = 0; i < ring_size; ++i) {
+    const auto num = static_cast<double>(pool_size - ring_size - i);
+    const auto den = static_cast<double>(pool_size - i);
+    log_ratio += std::log(num / den);
+  }
+  return 1.0 - std::exp(log_ratio);
+}
+
+}  // namespace icpda::crypto

@@ -1,0 +1,37 @@
+// Key-management interface.
+//
+// iCPDA is key-scheme agnostic: any mechanism that gives neighbouring
+// sensors a shared link key works, and the *privacy* experiments only
+// depend on which third parties can read which links. This interface
+// captures exactly that, and keyring.h ships two concrete schemes:
+//   * MasterPairwiseScheme — every pair derives a unique key from a
+//     pre-loaded master (ideal pairwise keying: no structural leaks);
+//   * EgPredistribution    — Eschenauer–Gligor random key rings, where
+//     key reuse lets some third parties read some links (the dominant
+//     source of the paper's link-compromise probability px).
+#pragma once
+
+#include <optional>
+
+#include "crypto/prf.h"
+#include "net/topology.h"
+
+namespace icpda::crypto {
+
+class KeyScheme {
+ public:
+  virtual ~KeyScheme() = default;
+
+  /// Shared key for the unordered pair {a, b}, or nullopt if these two
+  /// nodes cannot establish one (possible under EG predistribution).
+  [[nodiscard]] virtual std::optional<Key> link_key(net::NodeId a,
+                                                    net::NodeId b) const = 0;
+
+  /// Can node `c` (not an endpoint) decrypt traffic on link {a, b}
+  /// using only its own key material? This is the structural leak the
+  /// privacy analysis calls key reuse.
+  [[nodiscard]] virtual bool third_party_can_read(net::NodeId a, net::NodeId b,
+                                                  net::NodeId c) const = 0;
+};
+
+}  // namespace icpda::crypto

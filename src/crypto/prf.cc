@@ -1,0 +1,95 @@
+#include "crypto/prf.h"
+
+#include <stdexcept>
+
+namespace icpda::crypto {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Prf::Prf(const Key& key) {
+  state_[0] = key.words[0] ^ 0x6A09E667F3BCC908ULL;
+  state_[1] = key.words[1] ^ 0xBB67AE8584CAA73BULL;
+  state_[2] = key.words[0] ^ 0x3C6EF372FE94F82BULL;
+  state_[3] = key.words[1] ^ 0xA54FF53A5F1D36F1ULL;
+  permute();
+}
+
+void Prf::permute() {
+  // Four rounds of an ARX-style mix; plenty for statistical mixing.
+  for (int round = 0; round < 4; ++round) {
+    state_[0] += state_[1];
+    state_[3] ^= state_[0];
+    state_[3] = rotl(state_[3], 32);
+    state_[2] += state_[3];
+    state_[1] ^= state_[2];
+    state_[1] = rotl(state_[1], 24);
+    state_[0] += state_[1];
+    state_[3] ^= state_[0];
+    state_[3] = rotl(state_[3], 16);
+    state_[2] += state_[3];
+    state_[1] ^= state_[2];
+    state_[1] = rotl(state_[1], 63);
+  }
+}
+
+void Prf::absorb(std::span<const std::uint8_t> data) {
+  if (squeezing_) throw std::logic_error("Prf: absorb after squeeze");
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const std::uint8_t b : data) {
+    word |= static_cast<std::uint64_t>(b) << (8 * filled);
+    if (++filled == 8) {
+      absorb_u64(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) {
+    // Pad the trailing partial word with a 0x80-style terminator so
+    // that e.g. "ab" and "ab\0" absorb differently.
+    word |= 0x80ULL << (8 * filled);
+    absorb_u64(word);
+  }
+  absorbed_len_ += data.size();
+}
+
+void Prf::absorb_u64(std::uint64_t v) {
+  if (squeezing_) throw std::logic_error("Prf: absorb after squeeze");
+  state_[0] ^= v;
+  permute();
+}
+
+std::uint64_t Prf::squeeze64() {
+  if (!squeezing_) {
+    // Domain separation between absorb and squeeze phases, keyed by
+    // total absorbed length.
+    state_[1] ^= 0x9E3779B97F4A7C15ULL ^ absorbed_len_;
+    permute();
+    squeezing_ = true;
+  }
+  const std::uint64_t out = state_[0] ^ rotl(state_[2], 31);
+  permute();
+  return out;
+}
+
+std::uint64_t prf64(const Key& key, std::span<const std::uint8_t> data) {
+  Prf prf(key);
+  prf.absorb(data);
+  return prf.squeeze64();
+}
+
+Key derive_key(const Key& master, std::uint64_t label_a, std::uint64_t label_b) {
+  Prf prf(master);
+  prf.absorb_u64(label_a);
+  prf.absorb_u64(label_b);
+  Key k;
+  k.words[0] = prf.squeeze64();
+  k.words[1] = prf.squeeze64();
+  return k;
+}
+
+}  // namespace icpda::crypto

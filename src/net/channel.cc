@@ -1,0 +1,100 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace icpda::net {
+
+Channel::Channel(const Topology& topo, sim::Scheduler& sched, sim::Rng rng,
+                 sim::MetricRegistry& metrics, ChannelConfig config)
+    : topo_(topo),
+      sched_(sched),
+      rng_(rng),
+      metrics_(metrics),
+      config_(config),
+      tx_until_(topo.size(), sim::SimTime::zero()),
+      receptions_(topo.size()) {}
+
+bool Channel::transmitting(NodeId node) const {
+  return tx_until_[node] > sched_.now();
+}
+
+bool Channel::busy_at(NodeId node) const {
+  if (transmitting(node)) return true;
+  const sim::SimTime now = sched_.now();
+  for (const auto& r : receptions_[node]) {
+    if (r.end > now) return true;
+  }
+  return false;
+}
+
+void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_done) {
+  const sim::SimTime now = sched_.now();
+  const sim::SimTime dur = airtime(frame);
+  const sim::SimTime end = now + dur;
+  const sim::SimTime arrive = end + sim::SimTime{config_.propagation_delay_s};
+  const std::uint64_t tx_id = next_tx_id_++;
+
+  metrics_.add("channel.tx_frames");
+  metrics_.add("channel.tx_bytes", frame.air_bytes());
+
+  tx_until_[sender] = std::max(tx_until_[sender], end);
+  for (const auto& tap : taps_) tap(sender, frame);
+
+  // Register the reception at every in-range node and detect overlap.
+  for (const NodeId r : topo_.neighbors(sender)) {
+    auto& rs = receptions_[r];
+    bool corrupted = false;
+    for (auto& other : rs) {
+      if (other.end > now) {
+        // Temporal overlap with a frame still on the air corrupts both
+        // at this receiver (no capture effect).
+        other.corrupted = true;
+        corrupted = true;
+      }
+    }
+    // Half-duplex: a receiver mid-transmission cannot decode.
+    const bool rx_while_tx = transmitting(r);
+    rs.push_back(Reception{tx_id, end, corrupted});
+
+    // Deliver at end-of-reception. We look the reception status up at
+    // fire time because a *later* transmission can still corrupt it.
+    sched_.at(arrive, [this, r, tx_id, frame, rx_while_tx] {
+      auto& rs2 = receptions_[r];
+      const auto it = std::find_if(rs2.begin(), rs2.end(), [tx_id](const Reception& x) {
+        return x.tx_id == tx_id;
+      });
+      ReceptionStatus status = ReceptionStatus::kOk;
+      if (it != rs2.end() && it->corrupted) status = ReceptionStatus::kCollided;
+      if (it != rs2.end()) rs2.erase(it);
+      if (rx_while_tx || transmitting(r)) status = ReceptionStatus::kHalfDuplex;
+      if (status == ReceptionStatus::kOk && rng_.bernoulli(config_.loss_probability)) {
+        status = ReceptionStatus::kLost;
+      }
+      switch (status) {
+        case ReceptionStatus::kOk:
+          metrics_.add("channel.rx_ok");
+          break;
+        case ReceptionStatus::kCollided:
+          metrics_.add("channel.rx_collided");
+          if (frame.dst == r) metrics_.add("channel.dst_collided");
+          break;
+        case ReceptionStatus::kLost:
+          metrics_.add("channel.rx_lost");
+          break;
+        case ReceptionStatus::kHalfDuplex:
+          metrics_.add("channel.rx_halfduplex");
+          if (frame.dst == r) metrics_.add("channel.dst_halfduplex");
+          break;
+      }
+      if (delivery_) delivery_(r, frame, status);
+    });
+  }
+
+  // Notify the sender's MAC when the air is clear again.
+  sched_.at(end, [cb = std::move(on_tx_done)] {
+    if (cb) cb();
+  });
+}
+
+}  // namespace icpda::net

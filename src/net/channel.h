@@ -1,0 +1,114 @@
+// Shared wireless medium with collision and loss modelling.
+//
+// The channel is broadcast by nature: every frame physically reaches
+// every node within transmission range of the sender. That single fact
+// powers three different protocol behaviours in this repository:
+//   * addressed delivery        (normal reception),
+//   * promiscuous overhearing   (iCPDA peer monitoring, Phase III),
+//   * eavesdropping             (the attack model).
+//
+// Collision model: two transmissions overlapping in time at a receiver
+// corrupt each other there (no capture effect); a node that is itself
+// transmitting cannot receive (half-duplex). On top of collisions, an
+// independent Bernoulli(p_loss) models fading/noise losses per
+// (frame, receiver) pair. These two loss sources are what force the
+// base station's acceptance threshold Th > 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace icpda::net {
+
+struct ChannelConfig {
+  /// Radio bit rate (paper family: 1 Mbps).
+  double bit_rate_bps = 1e6;
+  /// Independent per-(frame,receiver) loss probability.
+  double loss_probability = 0.0;
+  /// Propagation delay per frame (distance-independent; ranges are
+  /// <=50 m so real propagation is ~0.2 us — dominated by this slack).
+  double propagation_delay_s = 1e-6;
+};
+
+/// Outcome of one frame at one receiver, reported to the Network.
+enum class ReceptionStatus : std::uint8_t {
+  kOk,         ///< delivered intact
+  kCollided,   ///< corrupted by an overlapping transmission
+  kLost,       ///< random channel loss
+  kHalfDuplex  ///< receiver was transmitting at the time
+};
+
+class Channel {
+ public:
+  /// receiver, frame, status. Called once per in-range node per frame
+  /// at reception-complete time (ok or not, so MACs can count noise).
+  using DeliveryFn =
+      std::function<void(NodeId receiver, const Frame& frame, ReceptionStatus)>;
+
+  /// Wiretap observer: sees every transmission at start-of-frame with
+  /// the sender id. Used by attack instrumentation; taps see ciphertext
+  /// bytes exactly as a real antenna would.
+  using TapFn = std::function<void(NodeId sender, const Frame& frame)>;
+
+  Channel(const Topology& topo, sim::Scheduler& sched, sim::Rng rng,
+          sim::MetricRegistry& metrics, ChannelConfig config);
+
+  /// Airtime of a frame at the configured bit rate.
+  [[nodiscard]] sim::SimTime airtime(const Frame& frame) const {
+    return airtime_bytes(frame.air_bytes());
+  }
+  [[nodiscard]] sim::SimTime airtime_bytes(std::size_t bytes) const {
+    return sim::seconds(static_cast<double>(bytes) * 8.0 / config_.bit_rate_bps);
+  }
+
+  /// Carrier sense: is any transmission audible at `node` right now
+  /// (including the node's own)?
+  [[nodiscard]] bool busy_at(NodeId node) const;
+
+  /// Is `node` itself currently transmitting?
+  [[nodiscard]] bool transmitting(NodeId node) const;
+
+  /// Start transmitting `frame` from `sender` now. The MAC must have
+  /// done its carrier-sense dance already; the channel will happily
+  /// create a collision if told to transmit into a busy medium.
+  /// `on_tx_done` fires at end-of-frame at the sender.
+  void transmit(NodeId sender, Frame frame, std::function<void()> on_tx_done);
+
+  void set_delivery(DeliveryFn fn) { delivery_ = std::move(fn); }
+  void add_tap(TapFn fn) { taps_.push_back(std::move(fn)); }
+
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ private:
+  struct Reception {
+    std::uint64_t tx_id;
+    sim::SimTime end;
+    bool corrupted;
+  };
+
+  const Topology& topo_;
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  sim::MetricRegistry& metrics_;
+  ChannelConfig config_;
+  DeliveryFn delivery_;
+  std::vector<TapFn> taps_;
+
+  /// Per-node time until which the node is transmitting.
+  std::vector<sim::SimTime> tx_until_;
+  /// Per-node in-flight receptions. An entry lives from start-of-frame
+  /// until its delivery callback runs (the corrupted flag must survive
+  /// that whole window); only the delivery event erases it.
+  std::vector<std::vector<Reception>> receptions_;
+  std::uint64_t next_tx_id_ = 0;
+};
+
+}  // namespace icpda::net

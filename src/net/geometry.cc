@@ -1,0 +1,26 @@
+#include "net/geometry.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace icpda::net {
+
+Field::Field(double width, double height) : width_(width), height_(height) {
+  if (!(width > 0) || !(height > 0)) {
+    throw std::invalid_argument("Field: dimensions must be positive");
+  }
+}
+
+std::vector<Point> Field::sample_n(sim::Rng& rng, std::size_t n) const {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back(sample(rng));
+  return pts;
+}
+
+double Field::expected_degree(std::size_t n, double range) const {
+  if (n == 0) return 0.0;
+  return static_cast<double>(n - 1) * std::numbers::pi * range * range / area();
+}
+
+}  // namespace icpda::net

@@ -1,0 +1,63 @@
+// Planar geometry for sensor deployment.
+//
+// The paper family deploys N sensors uniformly at random on a
+// 400 m x 400 m field with a 50 m transmission range; these types model
+// exactly that: points, a rectangular field, and uniform placement.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace icpda::net {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] inline double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// Axis-aligned rectangular deployment field with the origin at (0,0).
+class Field {
+ public:
+  Field(double width, double height);
+
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+  [[nodiscard]] double area() const { return width_ * height_; }
+  [[nodiscard]] Point center() const { return {width_ / 2, height_ / 2}; }
+
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= 0 && p.x <= width_ && p.y >= 0 && p.y <= height_;
+  }
+
+  /// One point uniformly at random inside the field.
+  [[nodiscard]] Point sample(sim::Rng& rng) const {
+    return {rng.uniform(0.0, width_), rng.uniform(0.0, height_)};
+  }
+
+  /// n points i.i.d. uniform inside the field.
+  [[nodiscard]] std::vector<Point> sample_n(sim::Rng& rng, std::size_t n) const;
+
+  /// Expected node degree when n nodes with transmission range r are
+  /// placed uniformly: (n-1) * pi r^2 / area, ignoring border effects.
+  [[nodiscard]] double expected_degree(std::size_t n, double range) const;
+
+ private:
+  double width_;
+  double height_;
+};
+
+}  // namespace icpda::net

@@ -1,0 +1,182 @@
+#include "net/mac.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/wire.h"
+#include "sim/log.h"
+
+namespace icpda::net {
+
+Mac::Mac(NodeId self, Channel& channel, sim::Scheduler& sched, sim::Rng rng,
+         sim::MetricRegistry& metrics, MacConfig config)
+    : self_(self),
+      channel_(channel),
+      sched_(sched),
+      rng_(rng),
+      metrics_(metrics),
+      config_(config),
+      cw_(config.cw_min) {}
+
+void Mac::send(Frame frame) {
+  frame.src = self_;
+  frame.seq = next_seq_++;
+  if (queue_.size() >= config_.queue_limit) {
+    metrics_.add("mac.queue_drop");
+    if (cbs_.on_send_failed) cbs_.on_send_failed(frame);
+    return;
+  }
+  queue_.push_back(std::move(frame));
+  metrics_.add("mac.enqueued");
+  if (state_ == State::kIdle) try_start();
+}
+
+sim::SimTime Mac::random_backoff() {
+  const std::uint64_t slots = rng_.below(cw_) + 1;
+  return sim::seconds(static_cast<double>(slots) * config_.slot_time_s);
+}
+
+void Mac::try_start() {
+  if (queue_.empty()) {
+    state_ = State::kIdle;
+    return;
+  }
+  // Always take an initial backoff: it desynchronises flood responses,
+  // which otherwise all fire on the same scheduler tick and collide.
+  defer();
+}
+
+void Mac::defer() {
+  state_ = State::kDeferring;
+  const sim::SimTime wait = random_backoff();
+  sched_.after(wait, [this] {
+    if (state_ != State::kDeferring) return;
+    if (channel_.busy_at(self_)) {
+      metrics_.add("mac.cs_busy");
+      cw_ = std::min(cw_ * 2, config_.cw_max);
+      defer();
+    } else {
+      begin_transmission();
+    }
+  });
+}
+
+void Mac::begin_transmission() {
+  state_ = State::kTransmitting;
+  metrics_.add("mac.tx_attempts");
+  channel_.transmit(self_, queue_.front(), [this] { on_tx_done(); });
+}
+
+void Mac::on_tx_done() {
+  if (state_ != State::kTransmitting) return;
+  const Frame& cur = queue_.front();
+  if (cur.is_broadcast() || cur.type == kMacAck) {
+    finish_current(true);
+    return;
+  }
+  state_ = State::kAwaitingAck;
+  ack_timer_ = sched_.after(sim::seconds(config_.ack_timeout_s), [this] {
+    ack_timer_armed_ = false;
+    on_ack_timeout();
+  });
+  ack_timer_armed_ = true;
+}
+
+void Mac::on_ack_timeout() {
+  if (state_ != State::kAwaitingAck) return;
+  metrics_.add("mac.ack_timeout");
+  ++retries_;
+  if (retries_ > config_.max_retries) {
+    finish_current(false);
+    return;
+  }
+  cw_ = std::min(cw_ * 2, config_.cw_max);
+  defer();
+}
+
+void Mac::finish_current(bool success) {
+  Frame done = std::move(queue_.front());
+  queue_.pop_front();
+  state_ = State::kIdle;
+  retries_ = 0;
+  cw_ = config_.cw_min;
+  if (ack_timer_armed_) {
+    sched_.cancel(ack_timer_);
+    ack_timer_armed_ = false;
+  }
+  if (success) {
+    metrics_.add("mac.tx_ok");
+  } else {
+    metrics_.add("mac.tx_failed");
+    if (cbs_.on_send_failed) cbs_.on_send_failed(done);
+  }
+  if (!queue_.empty()) try_start();
+}
+
+void Mac::send_ack(const Frame& data_frame) {
+  WireWriter w;
+  w.u32(data_frame.seq);
+  Frame ack;
+  ack.src = self_;
+  ack.dst = data_frame.src;
+  ack.seq = 0;  // ACKs are identified by the payload's echoed sequence.
+  ack.type = kMacAck;
+  ack.payload = std::move(w).take();
+  // ACKs bypass contention: fire after a short inter-frame space, like
+  // 802.11/802.15.4. They can still collide — that is physics.
+  sched_.after(sim::seconds(config_.sifs_s), [this, ack = std::move(ack)] {
+    metrics_.add("mac.ack_sent");
+    channel_.transmit(self_, ack, nullptr);
+  });
+}
+
+void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
+  if (status != ReceptionStatus::kOk) return;
+
+  if (frame.type == kMacAck) {
+    if (frame.dst != self_) return;
+    if (state_ != State::kAwaitingAck || queue_.empty()) return;
+    try {
+      WireReader r(frame.payload);
+      const std::uint32_t acked_seq = r.u32();
+      if (acked_seq == queue_.front().seq && frame.src == queue_.front().dst) {
+        metrics_.add("mac.ack_received");
+        finish_current(true);
+      }
+    } catch (const WireError&) {
+      metrics_.add("mac.malformed_ack");
+    }
+    return;
+  }
+
+  // Duplicate suppression: sequence numbers are monotone per sender
+  // (one frame in flight at a time), so a repeat means the sender
+  // missed our ACK and retransmitted. Re-ACK but do not re-deliver.
+  const auto [it, first_from_sender] = last_seen_seq_.try_emplace(frame.src, frame.seq);
+  const bool duplicate = !first_from_sender && frame.seq <= it->second;
+  if (!duplicate) it->second = frame.seq;
+
+  if (frame.dst == self_) {
+    send_ack(frame);
+    if (duplicate) {
+      metrics_.add("mac.duplicate_suppressed");
+      return;
+    }
+    if (cbs_.on_deliver) cbs_.on_deliver(frame);
+  } else if (frame.is_broadcast()) {
+    if (duplicate) {
+      metrics_.add("mac.duplicate_suppressed");
+      return;
+    }
+    if (cbs_.on_deliver) cbs_.on_deliver(frame);
+  } else {
+    // Addressed elsewhere: promiscuous overhearing path.
+    if (duplicate) {
+      metrics_.add("mac.duplicate_suppressed");
+      return;
+    }
+    if (cbs_.on_overhear) cbs_.on_overhear(frame);
+  }
+}
+
+}  // namespace icpda::net

@@ -1,0 +1,100 @@
+// CSMA/CA-lite medium access control.
+//
+// One Mac instance per node. Upper layers enqueue frames; the MAC
+// carrier-senses, backs off with binary-exponential contention windows,
+// transmits, and for unicast frames waits for a link-level ACK and
+// retransmits a bounded number of times. Broadcast frames are sent once
+// after a mandatory desynchronising backoff (floods would otherwise
+// collide en masse — exactly the behaviour the paper's loss numbers
+// come from, so we keep it physical rather than idealised).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/channel.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace icpda::net {
+
+struct MacConfig {
+  /// Contention slot. Deliberately on the order of a frame airtime
+  /// (~0.6 ms at 1 Mbps for a typical protocol frame): with slots much
+  /// shorter than a frame, two stations picking nearby slots still
+  /// overlap and backoff stops resolving contention.
+  double slot_time_s = 400e-6;
+  double sifs_s = 10e-6;           ///< gap before an ACK
+  std::uint32_t cw_min = 32;       ///< initial contention window (slots)
+  std::uint32_t cw_max = 1024;     ///< max contention window
+  std::uint32_t max_retries = 7;   ///< unicast retransmissions before giving up
+  double ack_timeout_s = 1.2e-3;   ///< unicast ACK wait
+  std::size_t queue_limit = 256;   ///< tail-drop beyond this depth
+};
+
+class Mac {
+ public:
+  /// Upper-layer hooks. `on_deliver` fires for intact frames addressed
+  /// to this node or broadcast; `on_overhear` for intact frames
+  /// addressed elsewhere; `on_send_failed` when unicast retries are
+  /// exhausted (or the queue overflows).
+  struct Callbacks {
+    std::function<void(const Frame&)> on_deliver;
+    std::function<void(const Frame&)> on_overhear;
+    std::function<void(const Frame&)> on_send_failed;
+  };
+
+  Mac(NodeId self, Channel& channel, sim::Scheduler& sched, sim::Rng rng,
+      sim::MetricRegistry& metrics, MacConfig config);
+
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+
+  void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
+
+  /// Enqueue a frame for transmission. The MAC stamps the sequence
+  /// number and source address.
+  void send(Frame frame);
+
+  /// Frames currently queued (diagnostics).
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Channel entry point: the Network routes every reception here.
+  void handle_reception(const Frame& frame, ReceptionStatus status);
+
+ private:
+  enum class State : std::uint8_t { kIdle, kDeferring, kTransmitting, kAwaitingAck };
+
+  NodeId self_;
+  Channel& channel_;
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  sim::MetricRegistry& metrics_;
+  MacConfig config_;
+  Callbacks cbs_;
+
+  std::deque<Frame> queue_;
+  State state_ = State::kIdle;
+  std::uint32_t retries_ = 0;
+  std::uint32_t cw_ = 0;
+  std::uint32_t next_seq_ = 1;
+  sim::EventId ack_timer_{~0ULL};
+  bool ack_timer_armed_ = false;
+  /// Highest data-frame sequence seen per sender; suppresses the
+  /// duplicate deliveries a lost ACK + retransmission would cause.
+  std::unordered_map<NodeId, std::uint32_t> last_seen_seq_;
+
+  void try_start();
+  void defer();
+  void begin_transmission();
+  void on_tx_done();
+  void on_ack_timeout();
+  void finish_current(bool success);
+  void send_ack(const Frame& data_frame);
+  [[nodiscard]] sim::SimTime random_backoff();
+};
+
+}  // namespace icpda::net

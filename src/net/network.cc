@@ -1,0 +1,72 @@
+#include "net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace icpda::net {
+
+namespace {
+Topology build_topology(const NetworkConfig& config, sim::Rng& rng) {
+  const Field field{config.field_width_m, config.field_height_m};
+  sim::Rng topo_rng = rng.fork("topology");
+  return make_random_topology(field, config.node_count, config.range_m, topo_rng,
+                              config.base_station_at_center);
+}
+}  // namespace
+
+Network::Network(const NetworkConfig& config)
+    : config_(config), rng_(config.seed), topology_(build_topology(config, rng_)) {
+  wire();
+}
+
+Network::Network(Topology topology, const NetworkConfig& config)
+    : config_(config), rng_(config.seed), topology_(std::move(topology)) {
+  config_.node_count = topology_.size();
+  wire();
+}
+
+void Network::wire() {
+  if (topology_.size() == 0) {
+    throw std::invalid_argument("Network: empty topology");
+  }
+  channel_ = std::make_unique<Channel>(topology_, scheduler_, rng_.fork("channel"),
+                                       metrics_, config_.channel);
+  macs_.reserve(topology_.size());
+  nodes_.reserve(topology_.size());
+  for (NodeId id = 0; id < topology_.size(); ++id) {
+    macs_.push_back(std::make_unique<Mac>(id, *channel_, scheduler_,
+                                          rng_.fork("mac", id), metrics_, config_.mac));
+    nodes_.push_back(std::make_unique<Node>(id, *this, rng_.fork("node", id)));
+  }
+  // Delivery path: channel -> receiving MAC -> node -> app.
+  channel_->set_delivery([this](NodeId receiver, const Frame& frame, ReceptionStatus st) {
+    macs_[receiver]->handle_reception(frame, st);
+  });
+  for (NodeId id = 0; id < topology_.size(); ++id) {
+    Node* node = nodes_[id].get();
+    Mac::Callbacks cbs;
+    cbs.on_deliver = [node](const Frame& f) { node->dispatch_receive(f); };
+    cbs.on_overhear = [node](const Frame& f) { node->dispatch_overhear(f); };
+    cbs.on_send_failed = [node](const Frame& f) { node->dispatch_send_failed(f); };
+    macs_[id]->set_callbacks(std::move(cbs));
+  }
+}
+
+void Network::start() {
+  // Base station first: it owns query initiation in every protocol here.
+  for (auto& n : nodes_) {
+    if (n->app()) n->app()->start(*n);
+  }
+}
+
+sim::SimTime Network::run(sim::SimTime horizon) {
+  start();
+  if (horizon.is_finite()) {
+    scheduler_.run_until(horizon);
+  } else {
+    scheduler_.run();
+  }
+  return scheduler_.now();
+}
+
+}  // namespace icpda::net

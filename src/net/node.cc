@@ -1,0 +1,31 @@
+#include "net/node.h"
+
+#include "net/network.h"
+
+namespace icpda::net {
+
+sim::SimTime Node::now() const { return network_.scheduler().now(); }
+
+sim::EventId Node::schedule(sim::SimTime delay, sim::EventFn fn) {
+  return network_.scheduler().after(delay, std::move(fn));
+}
+
+void Node::cancel(sim::EventId id) { network_.scheduler().cancel(id); }
+
+void Node::send(NodeId dst, FrameType type, Bytes payload) {
+  Frame f;
+  f.dst = dst;
+  f.type = type;
+  f.payload = std::move(payload);
+  network_.mac(id_).send(std::move(f));
+}
+
+void Node::broadcast(FrameType type, Bytes payload) {
+  send(kBroadcast, type, std::move(payload));
+}
+
+sim::MetricRegistry& Node::metrics() { return network_.metrics(); }
+
+const Point& Node::position() const { return network_.topology().position(id_); }
+
+}  // namespace icpda::net

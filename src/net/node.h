@@ -1,0 +1,100 @@
+// Sensor node and the application interface protocols implement.
+//
+// A Node is the runtime identity of one sensor: id, position, radio
+// (via the Network), its own RNG substream and an attached App. All
+// protocol logic in this repository — TAG, SMART, cluster formation,
+// CPDA, peer monitoring — is written as App subclasses; the substrate
+// below the App line never changes between experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace icpda::net {
+
+class Network;
+class Node;
+
+/// Protocol behaviour attached to a node. Handlers receive the Node so
+/// one App instance could in principle be shared; in practice each node
+/// owns its own App (they hold per-node protocol state).
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// Called once when the simulation starts (base station first).
+  virtual void start(Node& node) { (void)node; }
+
+  /// An intact frame addressed to this node (or broadcast) arrived.
+  virtual void on_receive(Node& node, const Frame& frame) {
+    (void)node;
+    (void)frame;
+  }
+
+  /// An intact frame addressed to *another* node was overheard
+  /// (promiscuous mode). iCPDA peer monitoring lives here.
+  virtual void on_overhear(Node& node, const Frame& frame) {
+    (void)node;
+    (void)frame;
+  }
+
+  /// A unicast frame was dropped after exhausting MAC retries.
+  virtual void on_send_failed(Node& node, const Frame& frame) {
+    (void)node;
+    (void)frame;
+  }
+};
+
+class Node {
+ public:
+  Node(NodeId id, Network& network, sim::Rng rng)
+      : id_(id), network_(network), rng_(std::move(rng)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  /// Node 0 is the base station by convention.
+  [[nodiscard]] bool is_base_station() const { return id_ == 0; }
+
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  // Radio / timer facade (implemented in node.cc against Network).
+  [[nodiscard]] sim::SimTime now() const;
+  sim::EventId schedule(sim::SimTime delay, sim::EventFn fn);
+  void cancel(sim::EventId id);
+  void send(NodeId dst, FrameType type, Bytes payload);
+  void broadcast(FrameType type, Bytes payload);
+  [[nodiscard]] sim::MetricRegistry& metrics();
+  [[nodiscard]] const Point& position() const;
+
+  void attach_app(std::unique_ptr<App> app) { app_ = std::move(app); }
+  [[nodiscard]] App* app() { return app_.get(); }
+
+  // Network-internal dispatch.
+  void dispatch_receive(const Frame& f) {
+    if (app_) app_->on_receive(*this, f);
+  }
+  void dispatch_overhear(const Frame& f) {
+    if (app_) app_->on_overhear(*this, f);
+  }
+  void dispatch_send_failed(const Frame& f) {
+    if (app_) app_->on_send_failed(*this, f);
+  }
+
+ private:
+  NodeId id_;
+  Network& network_;
+  sim::Rng rng_;
+  std::unique_ptr<App> app_;
+};
+
+}  // namespace icpda::net

@@ -1,0 +1,132 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace icpda::net {
+
+Topology::Topology(std::vector<Point> positions, double range)
+    : positions_(std::move(positions)), range_(range), adjacency_(positions_.size()) {
+  if (!(range > 0)) throw std::invalid_argument("Topology: range must be positive");
+  // Grid-bucketed neighbour search: O(N) buckets of side `range`, each
+  // node only compares against its 3x3 bucket neighbourhood. For the
+  // paper-scale N (hundreds) a quadratic scan would also do, but the
+  // benchmarks sweep to thousands of nodes.
+  const std::size_t n = positions_.size();
+  if (n == 0) return;
+
+  double max_x = 0.0;
+  double max_y = 0.0;
+  for (const auto& p : positions_) {
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const auto cols = static_cast<std::size_t>(max_x / range) + 1;
+  const auto rows = static_cast<std::size_t>(max_y / range) + 1;
+  std::vector<std::vector<NodeId>> grid(cols * rows);
+  const auto bucket_of = [&](const Point& p) {
+    const auto cx = std::min(cols - 1, static_cast<std::size_t>(p.x / range));
+    const auto cy = std::min(rows - 1, static_cast<std::size_t>(p.y / range));
+    return cy * cols + cx;
+  };
+  for (NodeId i = 0; i < n; ++i) grid[bucket_of(positions_[i])].push_back(i);
+
+  const double r2 = range * range;
+  for (NodeId i = 0; i < n; ++i) {
+    const auto& p = positions_[i];
+    const auto cx = std::min(cols - 1, static_cast<std::size_t>(p.x / range));
+    const auto cy = std::min(rows - 1, static_cast<std::size_t>(p.y / range));
+    for (std::size_t gy = (cy == 0 ? 0 : cy - 1); gy <= std::min(rows - 1, cy + 1); ++gy) {
+      for (std::size_t gx = (cx == 0 ? 0 : cx - 1); gx <= std::min(cols - 1, cx + 1); ++gx) {
+        for (const NodeId j : grid[gy * cols + gx]) {
+          if (j <= i) continue;
+          if (distance_sq(p, positions_[j]) <= r2) {
+            adjacency_[i].push_back(j);
+            adjacency_[j].push_back(i);
+          }
+        }
+      }
+    }
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+}
+
+bool Topology::adjacent(NodeId a, NodeId b) const {
+  const auto& adj = adjacency_.at(a);
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+double Topology::average_degree() const {
+  if (positions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
+}
+
+std::size_t Topology::min_degree() const {
+  std::size_t m = positions_.empty() ? 0 : adjacency_[0].size();
+  for (const auto& adj : adjacency_) m = std::min(m, adj.size());
+  return m;
+}
+
+std::size_t Topology::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total / 2;
+}
+
+bool Topology::connected() const {
+  if (positions_.empty()) return true;
+  return reachable_from(0).size() == positions_.size();
+}
+
+std::vector<NodeId> Topology::reachable_from(NodeId root) const {
+  std::vector<bool> seen(positions_.size(), false);
+  std::vector<NodeId> order;
+  std::queue<NodeId> frontier;
+  seen.at(root) = true;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    order.push_back(u);
+    for (const NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::uint32_t> Topology::hop_distances(NodeId root) const {
+  std::vector<std::uint32_t> dist(positions_.size(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist.at(root) = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : adjacency_[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Topology make_random_topology(const Field& field, std::size_t n, double range,
+                              sim::Rng& rng, bool base_station_at_center) {
+  auto positions = field.sample_n(rng, n);
+  if (base_station_at_center && !positions.empty()) {
+    positions[0] = field.center();
+  }
+  return Topology{std::move(positions), range};
+}
+
+}  // namespace icpda::net

@@ -1,0 +1,67 @@
+// Unit-disk connectivity graph over a deployment.
+//
+// Two sensors share a wireless link iff their distance is at most the
+// transmission range (the random-geometric-graph model G(N, r) used
+// throughout the paper family). The Topology is immutable once built;
+// the Channel consults it on every transmission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/geometry.h"
+#include "sim/rng.h"
+
+namespace icpda::net {
+
+/// Index of a node within one simulation; the base station is always
+/// node 0 by convention (see Network).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFF;
+
+class Topology {
+ public:
+  /// Builds the unit-disk graph for the given positions and range.
+  Topology(std::vector<Point> positions, double range);
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] double range() const { return range_; }
+  [[nodiscard]] const Point& position(NodeId id) const { return positions_.at(id); }
+  [[nodiscard]] const std::vector<Point>& positions() const { return positions_; }
+
+  /// Physical one-hop neighbours of `id` (excluding `id` itself).
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+
+  [[nodiscard]] std::size_t degree(NodeId id) const { return adjacency_.at(id).size(); }
+  [[nodiscard]] double average_degree() const;
+  [[nodiscard]] std::size_t min_degree() const;
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// True iff the graph is connected (BFS from node 0).
+  [[nodiscard]] bool connected() const;
+
+  /// Nodes reachable from `root`, including `root`.
+  [[nodiscard]] std::vector<NodeId> reachable_from(NodeId root) const;
+
+  /// Hop distance from `root` to every node (kUnreachable if none).
+  static constexpr std::uint32_t kUnreachable = 0xFFFFFFFF;
+  [[nodiscard]] std::vector<std::uint32_t> hop_distances(NodeId root) const;
+
+ private:
+  std::vector<Point> positions_;
+  double range_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+/// Convenience: sample a uniform deployment and build its topology.
+/// `base_station_at_center` replaces node 0's sampled position with the
+/// field center (the paper family places the BS centrally).
+[[nodiscard]] Topology make_random_topology(const Field& field, std::size_t n,
+                                            double range, sim::Rng& rng,
+                                            bool base_station_at_center = true);
+
+}  // namespace icpda::net

@@ -1,0 +1,215 @@
+// Protocol message catalogue: frame-type registry + typed payloads.
+//
+// Every protocol message in the repository is declared here with its
+// wire serialization, so byte accounting is consistent across TAG,
+// SMART and iCPDA, and tests can round-trip every message type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/wire.h"
+#include "proto/aggregate.h"
+
+namespace icpda::proto {
+
+/// Frame-type values (net::FrameType). 0 is reserved by the MAC (ACK).
+enum MsgType : net::FrameType {
+  kHello = 1,          ///< query flood / tree construction (TAG & iCPDA)
+  kTagReport = 2,      ///< TAG: aggregate to tree parent
+  kClusterHello = 3,   ///< iCPDA I: cluster-head announcement
+  kJoin = 4,           ///< iCPDA I: member -> CH join request
+  kClusterRoster = 5,  ///< iCPDA I: CH broadcasts final member list+seeds
+  kShare = 6,          ///< iCPDA II: encrypted polynomial share
+  kFAnnounce = 7,      ///< iCPDA II: assembled F_j broadcast (cleartext)
+  kClusterReport = 8,  ///< iCPDA III: aggregate up the tree
+  kAlarm = 9,          ///< iCPDA III: witness pollution alarm
+  kSmartSlice = 10,    ///< SMART: encrypted data slice
+  kSmartReport = 11,   ///< SMART: aggregate to tree parent
+  kClusterDigest = 12, ///< iCPDA II: head's consolidated F vector
+};
+
+/// Query flood message. `hop` counts from the base station; receivers
+/// adopt the first sender they hear as tree parent. `allowed_mask`
+/// optionally restricts which nodes may serve as aggregators/cluster
+/// heads this round (used by the bisection localizer; empty = all).
+struct HelloMsg {
+  std::uint32_t query_id = 0;
+  std::uint16_t hop = 0;
+  net::Bytes allowed_mask;  ///< bitset over node ids; empty = everyone
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<HelloMsg> from_bytes(const net::Bytes& b);
+
+  [[nodiscard]] bool allows(net::NodeId id) const {
+    if (allowed_mask.empty()) return true;
+    const std::size_t byte = id / 8;
+    if (byte >= allowed_mask.size()) return false;
+    return (allowed_mask[byte] >> (id % 8)) & 1;
+  }
+  void set_allowed(net::NodeId id, std::size_t universe);
+};
+
+/// Lean aggregate report used by the TAG and SMART baselines (the
+/// paper's TAG carries no auditing metadata).
+struct TagReportMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId reporter = net::kNoNode;
+  Aggregate aggregate;
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<TagReportMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase III itemized report: the aggregating head lists every
+/// input it combined — (contributor id, value) pairs, including its own
+/// cluster sum under its own id — plus the total. Itemization is what
+/// lets even a partial-view witness audit: anyone can check
+/// total == sum(items); a witness checks the head's own item against
+/// the cluster sum it solved, and every child item it personally
+/// overheard. Tampering must therefore corrupt a specific item and is
+/// caught unless NO witness saw that item. (The items reveal only
+/// subtree aggregates, which the shared medium already exposes.)
+struct ReportItem {
+  net::NodeId id = net::kNoNode;
+  Aggregate value;
+  friend bool operator==(const ReportItem&, const ReportItem&) = default;
+};
+
+struct ReportMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId reporter = net::kNoNode;
+  Aggregate aggregate;  ///< total of `items`
+  std::vector<ReportItem> items;
+
+  [[nodiscard]] bool claims(net::NodeId id) const {
+    for (const auto& item : items) {
+      if (item.id == id) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<ReportMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase I: cluster-head announcement (carries hop so the CH
+/// overlay inherits tree depth information from the flood).
+struct ClusterHelloMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId head = net::kNoNode;
+  std::uint16_t hop = 0;
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<ClusterHelloMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase I: join request from a would-be member to a CH.
+struct JoinMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId member = net::kNoNode;
+  net::NodeId head = net::kNoNode;
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<JoinMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase I: the CH fixes the cluster roster and the public,
+/// distinct, non-zero seeds x_i used by the share polynomials. Seeds
+/// are small integers (1..m permuted) — public by design.
+struct ClusterRosterMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId head = net::kNoNode;
+  std::vector<std::uint32_t> members;  ///< includes the head itself
+  std::vector<std::uint32_t> seeds;    ///< same order as members
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<ClusterRosterMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase II: encrypted share carrier. The sealed blob decrypts
+/// (under the pairwise link key) to the share triple the CPDA algebra
+/// defines; `sender`/`recipient` ride in the clear like any link header.
+struct ShareMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId sender = net::kNoNode;
+  net::NodeId recipient = net::kNoNode;
+  net::Bytes sealed;  ///< crypto::seal of a ShareBody (see core/cpda_algebra.h)
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<ShareMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase II: node j's assembled value F_j, sent to the cluster
+/// head in the clear (F values are public by design — the privacy of
+/// individual readings rests on the share randomness, not on hiding
+/// the assembled sums). Unicast so MAC ARQ covers it.
+struct FAnnounceMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId member = net::kNoNode;
+  net::NodeId head = net::kNoNode;
+  /// F_j triple: assembled (count, sum, sum_sq) shares.
+  Aggregate f;
+  /// Member ids whose shares are included in f (sorted). All cluster
+  /// members must agree on this set for the interpolation to be valid;
+  /// the head checks the lists for consistency before solving.
+  std::vector<std::uint32_t> contributors;
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<FAnnounceMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase II: the head's consolidated view, broadcast to the
+/// cluster (members may be two hops from each other but all are one
+/// hop from the head). Member j endorses the digest by checking that
+/// entry j equals the F_j it sent and that the claimed contributor set
+/// matches its own assembly — a forged entry is a provable lie and
+/// draws an alarm. Any endorser can interpolate the cluster sum from
+/// the vector, which is what arms the Phase III witnesses.
+struct ClusterDigestMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId head = net::kNoNode;
+  std::vector<std::uint32_t> members;  ///< roster order
+  std::vector<Aggregate> f_values;     ///< same order as members
+  std::vector<std::uint32_t> contributors;  ///< common contributor set
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<ClusterDigestMsg> from_bytes(const net::Bytes& b);
+};
+
+/// iCPDA Phase III: witness alarm, flooded toward the base station.
+///
+/// kValueTamper alarms (a witness reconstructed a different sum, or a
+/// member caught a forged digest entry) reject the epoch when the
+/// deviation exceeds Th. kDropSuspect alarms (a watchdog saw its
+/// parent swallow a report) are advisory: dropping is indistinguishable
+/// from loss at a single witness, so it feeds rerouting/reputation
+/// rather than rejection.
+struct AlarmMsg {
+  enum Kind : std::uint8_t { kValueTamper = 0, kDropSuspect = 1 };
+
+  std::uint32_t query_id = 0;
+  std::uint8_t kind = kValueTamper;
+  net::NodeId witness = net::kNoNode;
+  net::NodeId accused = net::kNoNode;
+  double expected_sum = 0.0;
+  double observed_sum = 0.0;
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<AlarmMsg> from_bytes(const net::Bytes& b);
+};
+
+/// SMART/iPDA-style slicing baseline: encrypted slice carrier.
+struct SliceMsg {
+  std::uint32_t query_id = 0;
+  net::NodeId sender = net::kNoNode;
+  net::NodeId recipient = net::kNoNode;
+  net::Bytes sealed;  ///< crypto::seal of one slice triple
+
+  [[nodiscard]] net::Bytes to_bytes() const;
+  [[nodiscard]] static std::optional<SliceMsg> from_bytes(const net::Bytes& b);
+};
+
+}  // namespace icpda::proto

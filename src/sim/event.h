@@ -1,0 +1,36 @@
+// Event representation for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace icpda::sim {
+
+/// Opaque identifier of a scheduled event; used to cancel it.
+///
+/// Ids are unique within one Scheduler for the lifetime of the
+/// simulation (64-bit counter, never reused).
+enum class EventId : std::uint64_t {};
+
+/// Callback executed when an event fires. Events carry no payload of
+/// their own; closures capture whatever state they need.
+using EventFn = std::function<void()>;
+
+/// A scheduled event, ordered by (time, sequence-number) so that events
+/// scheduled earlier at equal times fire first (deterministic FIFO
+/// tie-break, which matters for reproducibility).
+struct Event {
+  SimTime at;
+  EventId id;
+  EventFn fn;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return static_cast<std::uint64_t>(a.id) > static_cast<std::uint64_t>(b.id);
+  }
+};
+
+}  // namespace icpda::sim

@@ -1,0 +1,51 @@
+#include "sim/log.h"
+
+#include <iostream>
+
+namespace icpda::sim {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "OFF";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view msg) {
+        std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+      }) {}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view msg) {
+      std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (enabled(level)) sink_(level, msg);
+}
+
+}  // namespace icpda::sim

@@ -1,0 +1,70 @@
+// Minimal leveled tracing for protocol debugging.
+//
+// Logging is OFF by default and costs one branch per call site when
+// off; the benchmark binaries never enable it. Tests that assert on
+// protocol traces capture via set_sink().
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace icpda::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Process-wide logger used by convenience macros; individual
+  /// Simulations may also own private Logger instances.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level_ >= level && level != LogLevel::kOff;
+  }
+
+  /// Replace the output sink (default: stderr). Pass nullptr to restore
+  /// the default.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+/// Stream-style logging helper:
+///   ICPDA_LOG(kDebug) << "node " << id << " became CH";
+/// The stream body is not evaluated when the level is disabled.
+#define ICPDA_LOG(lvl)                                                     \
+  if (!::icpda::sim::Logger::global().enabled(::icpda::sim::LogLevel::lvl)) \
+    ;                                                                      \
+  else                                                                     \
+    ::icpda::sim::LogLine(::icpda::sim::LogLevel::lvl)
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::global().log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace icpda::sim

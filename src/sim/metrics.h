@@ -1,0 +1,127 @@
+// Measurement plumbing: counters, running statistics and histograms.
+//
+// Every experiment in bench/ reports through a MetricRegistry owned by
+// its Simulation, so the figures are regenerated from the same counters
+// the protocol code increments — no duplicated bookkeeping in the
+// drivers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace icpda::sim {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable for the long Monte-Carlo sweeps in bench/.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean; 0 for fewer than 2 samples.
+  [[nodiscard]] double sem() const {
+    return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
+  [[nodiscard]] double min() const {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to
+/// the edge buckets so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  [[nodiscard]] double bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
+
+  /// Value below which fraction q of samples fall (linear interpolation
+  /// within the bucket). q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named counters + named stats; cheap lookup by string, which is fine
+/// at protocol-event granularity (thousands of events per run).
+class MetricRegistry {
+ public:
+  void add(const std::string& counter, std::uint64_t delta = 1) {
+    counters_[counter] += delta;
+  }
+  void observe(const std::string& stat, double value) { stats_[stat].add(value); }
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const RunningStats& stat(const std::string& name) const {
+    static const RunningStats kEmpty;
+    const auto it = stats_.find(name);
+    return it == stats_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, RunningStats>& stats() const {
+    return stats_;
+  }
+
+  void clear() {
+    counters_.clear();
+    stats_.clear();
+  }
+
+  /// Human-readable dump (used by examples and debugging).
+  void print(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, RunningStats> stats_;
+};
+
+}  // namespace icpda::sim

@@ -1,0 +1,59 @@
+#include "sim/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace icpda::sim {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("Rng::exponential: lambda must be > 0");
+  }
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform();  // (0, 1]
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(6.283185307179586476925286766559 * u2);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  // Floyd's algorithm: O(k) expected, no O(n) scratch.
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = below(j + 1);
+    bool seen = false;
+    for (const std::size_t p : picked) {
+      if (p == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  return picked;
+}
+
+}  // namespace icpda::sim

@@ -1,0 +1,98 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace icpda::sim {
+
+EventId Scheduler::at(SimTime t, EventFn fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler::at: time is in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Scheduler::at: empty callback");
+  }
+  const EventId id{next_id_++};
+  queue_.push(Event{t, id, std::move(fn)});
+  pending_ids_.insert(static_cast<std::uint64_t>(id));
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // We cannot remove from the middle of a binary heap cheaply, so we
+  // record the id and discard the event lazily when it surfaces.
+  const auto raw = static_cast<std::uint64_t>(id);
+  if (pending_ids_.erase(raw) == 0) return false;  // fired or unknown
+  cancelled_.insert(raw);
+  return true;
+}
+
+bool Scheduler::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const&; we must copy the closure out
+    // before pop. Closures in this codebase are small (captured
+    // pointers + POD), so the copy is cheap.
+    out = queue_.top();
+    queue_.pop();
+    const auto raw = static_cast<std::uint64_t>(out.id);
+    if (auto it = cancelled_.find(raw); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(raw);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t fired = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    now_ = ev.at;
+    ev.fn();
+    ++fired;
+    ++executed_;
+  }
+  return fired;
+}
+
+std::uint64_t Scheduler::run_until(SimTime deadline) {
+  std::uint64_t fired = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    if (ev.at > deadline) {
+      // Put it back; it is beyond the horizon.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    ev.fn();
+    ++fired;
+    ++executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  Event ev;
+  while (fired < max_events && pop_next(ev)) {
+    now_ = ev.at;
+    ev.fn();
+    ++fired;
+    ++executed_;
+  }
+  return fired;
+}
+
+void Scheduler::reset() {
+  queue_ = {};
+  pending_ids_.clear();
+  cancelled_.clear();
+  now_ = SimTime::zero();
+  executed_ = 0;
+}
+
+}  // namespace icpda::sim

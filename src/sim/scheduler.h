@@ -1,0 +1,78 @@
+// Discrete-event scheduler: the heart of the WSN simulator.
+//
+// A Scheduler owns a priority queue of (time, callback) events and a
+// monotone simulation clock. Protocol code schedules future work with
+// `at()`/`after()` and the main loop (`run*`) drains events in time
+// order. Everything in this repository that "waits" — MAC backoff,
+// HELLO jitter, share-assembly timeouts, epoch deadlines — is an event
+// here; there are no threads and no wall-clock dependence, so a run is
+// a deterministic function of (configuration, RNG seed).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/time.h"
+
+namespace icpda::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time. Monotone: only advances inside run*().
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Number of events currently pending (excludes cancelled ones).
+  [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
+
+  /// Schedule `fn` at absolute time `t`. `t` must be >= now().
+  EventId at(SimTime t, EventFn fn);
+
+  /// Schedule `fn` after a relative delay from now().
+  EventId after(SimTime delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancel a pending event. Cancelling an already-fired or already
+  /// cancelled event is a harmless no-op. Returns true if the event was
+  /// pending.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until the queue is empty or simulation time would exceed
+  /// `deadline` (events strictly after the deadline remain queued; the
+  /// clock is advanced to `deadline`).
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Execute at most `max_events` events.
+  std::uint64_t run_steps(std::uint64_t max_events);
+
+  /// Drop every pending event and reset the clock to zero. Event ids
+  /// are NOT reset — stale EventIds remain safely cancellable no-ops.
+  void reset();
+
+ private:
+  // Min-heap on (time, id).
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Ids of events still in the heap (removed on fire/cancel); lets
+  /// cancel() answer "was it pending" exactly.
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_id_ = 0;
+  std::uint64_t executed_ = 0;
+
+  /// Pops the next non-cancelled event, or returns false if none.
+  bool pop_next(Event& out);
+};
+
+}  // namespace icpda::sim

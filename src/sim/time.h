@@ -1,0 +1,76 @@
+// Simulation time: a strong type over double seconds.
+//
+// The discrete-event kernel (scheduler.h) orders events by SimTime.
+// We follow the ns-2 convention of double-precision seconds, wrapped in
+// a distinct type so that times, durations and plain numbers cannot be
+// mixed up silently.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace icpda::sim {
+
+/// A point in simulated time, measured in seconds since simulation start.
+///
+/// SimTime is totally ordered and supports the affine operations one
+/// expects of a time point (time +/- duration, time - time -> duration).
+/// Durations are represented as plain SimTime values as well (the origin
+/// is zero), which keeps the arithmetic lightweight; the factory helpers
+/// `seconds`, `millis` and `micros` make call sites unit-explicit.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double s) : seconds_(s) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double millis() const { return seconds_ * 1e3; }
+  [[nodiscard]] constexpr double micros() const { return seconds_ * 1e6; }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0.0}; }
+  [[nodiscard]] static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr bool is_finite() const {
+    return std::isfinite(seconds_);
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime d) {
+    seconds_ += d.seconds_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) {
+    seconds_ -= d.seconds_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.seconds_ + b.seconds_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.seconds_ - b.seconds_};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime{a.seconds_ * k};
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+[[nodiscard]] constexpr SimTime seconds(double s) { return SimTime{s}; }
+[[nodiscard]] constexpr SimTime millis(double ms) { return SimTime{ms * 1e-3}; }
+[[nodiscard]] constexpr SimTime micros(double us) { return SimTime{us * 1e-6}; }
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.seconds() << "s";
+}
+
+}  // namespace icpda::sim

@@ -1,0 +1,115 @@
+// Closed-form models cross-validated against simulation/Monte-Carlo.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "analysis/models.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+
+namespace icpda::analysis {
+namespace {
+
+TEST(DeploymentModelTest, BorderCorrectionBelowUnclipped) {
+  const net::Field field(400, 400);
+  const double unclipped = expected_degree(field, 400, 50.0);
+  const double corrected = expected_degree_border_corrected(field, 400, 50.0);
+  EXPECT_LT(corrected, unclipped);
+  EXPECT_GT(corrected, 0.85 * unclipped);
+}
+
+TEST(DeploymentModelTest, BorderCorrectedMatchesSimulation) {
+  const net::Field field(400, 400);
+  sim::Rng rng(21);
+  for (const std::size_t n : {200, 400, 600}) {
+    double sum = 0.0;
+    const int trials = 12;
+    for (int t = 0; t < trials; ++t) {
+      sum += net::make_random_topology(field, n, 50.0, rng, false).average_degree();
+    }
+    EXPECT_NEAR(sum / trials, expected_degree_border_corrected(field, n, 50.0), 0.5)
+        << "N=" << n;
+  }
+}
+
+TEST(DeploymentModelTest, LargeRangeSaturates) {
+  // Range covering the whole field: everyone is everyone's neighbour.
+  const net::Field field(100, 100);
+  const double d = expected_degree_border_corrected(field, 50, 150.0);
+  EXPECT_NEAR(d, 49.0, 0.5);
+}
+
+TEST(ClusterModelTest, ExpectedSizeIsReciprocalPc) {
+  EXPECT_DOUBLE_EQ(expected_cluster_size(0.25), 4.0);
+  EXPECT_DOUBLE_EQ(expected_cluster_size(1.0), 1.0);
+  EXPECT_THROW((void)expected_cluster_size(0.0), std::invalid_argument);
+}
+
+TEST(ClusterModelTest, LoneHeadProbabilityBehaviour) {
+  // More neighbours -> less likely alone; higher pc -> more heads
+  // competing -> more likely alone.
+  EXPECT_GT(lone_head_probability(0.3, 5.0), lone_head_probability(0.3, 20.0));
+  EXPECT_LT(lone_head_probability(0.1, 10.0), lone_head_probability(0.6, 10.0));
+  EXPECT_GT(lone_head_probability(0.3, 10.0), 0.0);
+  EXPECT_LT(lone_head_probability(0.3, 10.0), 1.0);
+}
+
+TEST(PrivacyModelTest, DisclosureFormulaShape) {
+  // Decreasing in m, increasing in px.
+  EXPECT_GT(cpda_disclosure_probability(2, 0.1), cpda_disclosure_probability(3, 0.1));
+  EXPECT_LT(cpda_disclosure_probability(3, 0.05), cpda_disclosure_probability(3, 0.2));
+  EXPECT_DOUBLE_EQ(cpda_disclosure_probability(1, 0.1), 1.0);
+  EXPECT_NEAR(cpda_disclosure_probability(3, 0.1), 1e-4, 1e-12);
+}
+
+TEST(PrivacyModelTest, PaperExampleRegularGraph) {
+  // The iPDA companion computes P ~ 1e-3 for l = 3, d = 10, px = 0.1
+  // with the slicing scheme; our SMART model with incoming ~ l-1
+  // should land in the same decade.
+  const double p = smart_disclosure_probability(3, 2, 0.1);
+  EXPECT_NEAR(p, 1e-4, 9e-4);
+}
+
+TEST(OverheadModelTest, OrderingAcrossProtocols) {
+  EXPECT_DOUBLE_EQ(tag_messages_per_node(), 2.0);
+  EXPECT_DOUBLE_EQ(smart_messages_per_node(2), 3.0);
+  // iCPDA costs more than SMART(l=2) and far more than TAG.
+  const double icpda = icpda_messages_per_node(0.3, 2);
+  EXPECT_GT(icpda, smart_messages_per_node(2));
+  EXPECT_LT(icpda, 12.0);
+  // Smaller pc -> bigger clusters -> more share traffic.
+  EXPECT_GT(icpda_messages_per_node(0.15, 2), icpda_messages_per_node(0.5, 2));
+}
+
+TEST(IntegrityModelTest, WitnessHearingProbability) {
+  // Closed form for two uniform points in a disc within one radius.
+  const double q = witness_hears_child_probability();
+  EXPECT_NEAR(q, 0.5865, 0.001);
+  // Monte-Carlo check.
+  sim::Rng rng(33);
+  int hits = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    // Rejection-sample two points in the unit disc.
+    const auto sample = [&rng] {
+      while (true) {
+        const double x = rng.uniform(-1.0, 1.0);
+        const double y = rng.uniform(-1.0, 1.0);
+        if (x * x + y * y <= 1.0) return net::Point{x, y};
+      }
+    };
+    if (net::distance(sample(), sample()) <= 1.0) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, q, 0.005);
+}
+
+TEST(IntegrityModelTest, DetectionProbabilityShape) {
+  // More witnesses help; more children hurt.
+  EXPECT_GT(detection_probability(5, 2), detection_probability(1, 2));
+  EXPECT_GT(detection_probability(3, 1), detection_probability(3, 4));
+  EXPECT_DOUBLE_EQ(detection_probability(0, 1), 0.0);
+  EXPECT_NEAR(detection_probability(3, 0), 1.0, 1e-12);  // no children: V check always possible
+}
+
+}  // namespace
+}  // namespace icpda::analysis

@@ -1,0 +1,197 @@
+// Attack auditors: linear-algebra disclosure test, eavesdropping,
+// collusion, SMART views — including cross-validation of the paper's
+// privacy claims by exact inferability rather than formulas.
+#include <gtest/gtest.h>
+
+#include "analysis/models.h"
+#include "attacks/eavesdropper.h"
+#include "attacks/linear_audit.h"
+#include "sim/rng.h"
+
+namespace icpda::attacks {
+namespace {
+
+// ---- LinearKnowledge ------------------------------------------------
+
+TEST(LinearKnowledgeTest, PinDeterminesExactlyThatVariable) {
+  LinearKnowledge k(3);
+  k.pin(1);
+  EXPECT_FALSE(k.determined(0));
+  EXPECT_TRUE(k.determined(1));
+  EXPECT_FALSE(k.determined(2));
+  EXPECT_EQ(k.nullity(), 2u);
+}
+
+TEST(LinearKnowledgeTest, SumConstraintAlonePinsNothing) {
+  LinearKnowledge k(3);
+  k.add_equation({1.0, 1.0, 1.0});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FALSE(k.determined(i));
+}
+
+TEST(LinearKnowledgeTest, FullRankDeterminesEverything) {
+  LinearKnowledge k(3);
+  k.add_equation({1.0, 1.0, 0.0});
+  k.add_equation({0.0, 1.0, 1.0});
+  k.add_equation({1.0, 0.0, 1.0});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(k.determined(i));
+  EXPECT_EQ(k.nullity(), 0u);
+}
+
+TEST(LinearKnowledgeTest, RedundantEquationsHarmless) {
+  LinearKnowledge k(2);
+  k.add_equation({1.0, 1.0});
+  k.add_equation({2.0, 2.0});
+  k.add_equation({-1.0, -1.0});
+  EXPECT_EQ(k.nullity(), 1u);
+  EXPECT_FALSE(k.determined(0));
+}
+
+TEST(LinearKnowledgeTest, DifferenceOfConstraintsDetermines) {
+  // x0 + x1 known and x1 known -> x0 determined.
+  LinearKnowledge k(2);
+  k.add_equation({1.0, 1.0});
+  k.pin(1);
+  EXPECT_TRUE(k.determined(0));
+}
+
+TEST(LinearKnowledgeTest, SizeValidation) {
+  LinearKnowledge k(2);
+  EXPECT_THROW(k.add_equation({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)k.determined(5), std::out_of_range);
+}
+
+// ---- CPDA cluster disclosure ----------------------------------------
+
+TEST(ClusterViewTest, NoBreaksNoDisclosure) {
+  for (std::size_t m : {2, 3, 5}) {
+    const auto view = ClusterView::clean(m);
+    for (const bool d : view.disclosed()) EXPECT_FALSE(d) << "m=" << m;
+  }
+}
+
+TEST(ClusterViewTest, AllLinksOfVictimBrokenDiscloses) {
+  // Outgoing AND incoming share links of member 0 broken -> v_0 leaks
+  // (the paper's disclosure condition).
+  auto view = ClusterView::clean(3);
+  for (std::size_t j = 1; j < 3; ++j) {
+    view.broken[0][j] = true;  // outgoing
+    view.broken[j][0] = true;  // incoming
+  }
+  const auto d = view.disclosed();
+  EXPECT_TRUE(d[0]);
+  EXPECT_FALSE(d[1]);
+  EXPECT_FALSE(d[2]);
+}
+
+TEST(ClusterViewTest, OutgoingAloneInsufficient) {
+  auto view = ClusterView::clean(3);
+  view.broken[0][1] = true;
+  view.broken[0][2] = true;
+  EXPECT_FALSE(view.disclosed()[0]);
+}
+
+TEST(ClusterViewTest, IncomingAloneInsufficient) {
+  auto view = ClusterView::clean(3);
+  view.broken[1][0] = true;
+  view.broken[2][0] = true;
+  EXPECT_FALSE(view.disclosed()[0]);
+}
+
+TEST(ClusterViewTest, WithoutPublicFNothingDiscloses) {
+  // Even full victim-link knowledge needs the public F values to pin
+  // the kept share.
+  auto view = ClusterView::clean(3);
+  view.f_public = false;
+  for (std::size_t j = 1; j < 3; ++j) {
+    view.broken[0][j] = true;
+    view.broken[j][0] = true;
+  }
+  EXPECT_FALSE(view.disclosed()[0]);
+}
+
+TEST(ClusterViewTest, AllLinksBrokenDisclosesEveryone) {
+  auto view = ClusterView::clean(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) view.broken[i][j] = true;
+    }
+  }
+  for (const bool d : view.disclosed()) EXPECT_TRUE(d);
+}
+
+class CollusionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollusionTest, AllButOneColludersBreakPrivacy) {
+  const std::size_t m = GetParam();
+  // m-1 colluders expose the last honest member.
+  auto view = ClusterView::clean(m);
+  for (std::size_t c = 1; c < m; ++c) view.colluders[c] = true;
+  EXPECT_TRUE(view.disclosed()[0]) << "m=" << m;
+}
+
+TEST_P(CollusionTest, FewerColludersPreservePrivacy) {
+  const std::size_t m = GetParam();
+  if (m < 3) return;  // m-2 = 0 colluders is the clean case
+  auto view = ClusterView::clean(m);
+  for (std::size_t c = 2; c < m; ++c) view.colluders[c] = true;  // m-2 colluders
+  const auto d = view.disclosed();
+  EXPECT_FALSE(d[0]) << "m=" << m;
+  EXPECT_FALSE(d[1]) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, CollusionTest, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(ClusterViewTest, CollusionEstimatorMatchesTheory) {
+  sim::Rng rng(5);
+  EXPECT_DOUBLE_EQ(estimate_collusion_disclosure(4, 3, 20, rng), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_collusion_disclosure(4, 2, 20, rng), 0.0);
+  EXPECT_DOUBLE_EQ(analysis::cpda_collusion_disclosure(4, 3), 1.0);
+  EXPECT_DOUBLE_EQ(analysis::cpda_collusion_disclosure(4, 2), 0.0);
+}
+
+TEST(ClusterViewTest, DisclosureProbabilityMatchesClosedFormLeadingOrder) {
+  // For px = 0.5 and m = 2 the closed form px^(2(m-1)) = 0.25 should
+  // be a close lower bound of the rank-test estimate (rarer global
+  // patterns add a little).
+  sim::Rng rng(7);
+  const double est = estimate_disclosure_probability(2, 0.5, 4000, rng);
+  const double formula = analysis::cpda_disclosure_probability(2, 0.5);
+  EXPECT_GE(est + 0.02, formula);
+  EXPECT_NEAR(est, formula, 0.08);
+}
+
+TEST(ClusterViewTest, DisclosureDropsWithClusterSize) {
+  sim::Rng rng(9);
+  const double m2 = estimate_disclosure_probability(2, 0.4, 3000, rng);
+  const double m3 = estimate_disclosure_probability(3, 0.4, 3000, rng);
+  EXPECT_GT(m2, m3);
+}
+
+// ---- SMART view -----------------------------------------------------
+
+TEST(SmartViewTest, MatchesClosedForm) {
+  sim::Rng rng(11);
+  SmartView view;
+  view.l = 2;
+  view.incoming = 1;
+  view.px = 0.5;
+  // Needs 1 outgoing + 1 incoming broken: 0.25.
+  EXPECT_NEAR(view.estimate(4000, rng), 0.25, 0.03);
+  EXPECT_DOUBLE_EQ(analysis::smart_disclosure_probability(2, 1, 0.5), 0.25);
+}
+
+TEST(SmartViewTest, MoreSlicesLowerDisclosure) {
+  sim::Rng rng(13);
+  SmartView l2{2, 2, 0.4};
+  SmartView l3{3, 2, 0.4};
+  EXPECT_GT(l2.estimate(3000, rng), l3.estimate(3000, rng));
+}
+
+TEST(SmartViewTest, CertainBreakDisclosesAlways) {
+  sim::Rng rng(17);
+  SmartView view{2, 1, 1.0};
+  EXPECT_DOUBLE_EQ(view.estimate(100, rng), 1.0);
+}
+
+}  // namespace
+}  // namespace icpda::attacks

@@ -1,0 +1,212 @@
+// Channel (collisions, loss, overhearing) and MAC (CSMA, ACK/retry,
+// duplicate suppression) behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.h"
+#include "net/mac.h"
+#include "net/network.h"
+#include "net/node.h"
+
+namespace icpda::net {
+namespace {
+
+/// Three nodes in a line: 0 -- 1 -- 2 (0 and 2 are hidden from each
+/// other), all pairs within range except 0-2.
+Topology line_topology() { return Topology{{{0, 0}, {40, 0}, {80, 0}}, 50.0}; }
+
+/// App recording everything it sees.
+class RecorderApp final : public App {
+ public:
+  struct Seen {
+    Frame frame;
+    bool overheard;
+  };
+  void on_receive(Node&, const Frame& f) override { seen.push_back({f, false}); }
+  void on_overhear(Node&, const Frame& f) override { seen.push_back({f, true}); }
+  void on_send_failed(Node&, const Frame& f) override { failed.push_back(f); }
+  std::vector<Seen> seen;
+  std::vector<Frame> failed;
+};
+
+struct Rig {
+  explicit Rig(Topology topo, NetworkConfig cfg = {})
+      : network(std::move(topo), cfg) {
+    network.attach_apps([this](Node&) {
+      auto app = std::make_unique<RecorderApp>();
+      apps.push_back(app.get());
+      return app;
+    });
+  }
+  Network network;
+  std::vector<RecorderApp*> apps;
+};
+
+TEST(ChannelTest, AirtimeMatchesBitrate) {
+  Rig rig(line_topology());
+  Frame f;
+  f.payload.assign(83, 0);  // 83 + 17 overhead = 100 bytes = 800 bits
+  EXPECT_NEAR(rig.network.channel().airtime(f).seconds(), 800.0 / 1e6, 1e-12);
+}
+
+TEST(ChannelMacTest, UnicastDeliversOnlyToDestinationButAllOverhear) {
+  Rig rig(line_topology());
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    rig.network.node(1).send(0, 42, {1, 2, 3});
+  });
+  rig.network.run();
+  ASSERT_EQ(rig.apps[0]->seen.size(), 1u);
+  EXPECT_FALSE(rig.apps[0]->seen[0].overheard);
+  EXPECT_EQ(rig.apps[0]->seen[0].frame.type, 42);
+  // Node 2 is in range of node 1: promiscuous overhear.
+  ASSERT_EQ(rig.apps[2]->seen.size(), 1u);
+  EXPECT_TRUE(rig.apps[2]->seen[0].overheard);
+}
+
+TEST(ChannelMacTest, BroadcastReachesAllNeighbours) {
+  Rig rig(line_topology());
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    rig.network.node(1).broadcast(7, {9});
+  });
+  rig.network.run();
+  ASSERT_EQ(rig.apps[0]->seen.size(), 1u);
+  EXPECT_FALSE(rig.apps[0]->seen[0].overheard);  // broadcast counts as addressed
+  ASSERT_EQ(rig.apps[2]->seen.size(), 1u);
+  EXPECT_EQ(rig.apps[0]->seen[0].frame.payload, Bytes{9});
+}
+
+TEST(ChannelMacTest, OutOfRangeUnicastFailsAfterRetries) {
+  Rig rig(line_topology());
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    rig.network.node(0).send(2, 42, {1});  // 0 cannot reach 2
+  });
+  rig.network.run();
+  EXPECT_EQ(rig.apps[2]->seen.size(), 0u);
+  ASSERT_EQ(rig.apps[0]->failed.size(), 1u);
+  EXPECT_EQ(rig.network.metrics().counter("mac.tx_failed"), 1u);
+  // max_retries + 1 transmissions attempted.
+  EXPECT_EQ(rig.network.metrics().counter("mac.tx_attempts"),
+            rig.network.config().mac.max_retries + 1);
+}
+
+TEST(ChannelMacTest, AckedUnicastSucceedsWithoutFailure) {
+  Rig rig(line_topology());
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    rig.network.node(0).send(1, 42, {1});
+  });
+  rig.network.run();
+  EXPECT_EQ(rig.apps[1]->seen.size(), 1u);
+  EXPECT_TRUE(rig.apps[0]->failed.empty());
+  EXPECT_EQ(rig.network.metrics().counter("mac.ack_received"), 1u);
+}
+
+TEST(ChannelMacTest, SimultaneousHiddenTerminalsCollideAtMiddle) {
+  // Force both hidden nodes to transmit into the same instant by
+  // bypassing the MAC and driving the channel directly.
+  Rig rig(line_topology());
+  auto& channel = rig.network.channel();
+  auto& sched = rig.network.scheduler();
+  int delivered_ok = 0;
+  channel.set_delivery([&](NodeId receiver, const Frame&, ReceptionStatus st) {
+    if (receiver == 1 && st == ReceptionStatus::kOk) ++delivered_ok;
+    if (receiver == 1 && st == ReceptionStatus::kCollided) {
+      // expected
+    }
+  });
+  sched.after(sim::seconds(0.001), [&] {
+    Frame a;
+    a.src = 0;
+    a.dst = 1;
+    a.payload.assign(50, 0);
+    Frame b;
+    b.src = 2;
+    b.dst = 1;
+    b.payload.assign(50, 0);
+    channel.transmit(0, a, nullptr);
+    channel.transmit(2, b, nullptr);
+  });
+  sched.run();
+  EXPECT_EQ(delivered_ok, 0);
+  EXPECT_EQ(rig.network.metrics().counter("channel.rx_collided"), 2u);
+}
+
+TEST(ChannelMacTest, CarrierSenseDefersNeighbour) {
+  Rig rig(line_topology());
+  auto& channel = rig.network.channel();
+  auto& sched = rig.network.scheduler();
+  sched.after(sim::seconds(0.001), [&] {
+    Frame a;
+    a.src = 0;
+    a.dst = 1;
+    a.payload.assign(1000, 0);  // ~8 ms on air
+    channel.transmit(0, a, nullptr);
+  });
+  bool busy_seen = false;
+  sched.after(sim::seconds(0.002), [&] { busy_seen = channel.busy_at(1); });
+  sched.run();
+  EXPECT_TRUE(busy_seen);
+}
+
+TEST(ChannelMacTest, RandomLossDropsConfiguredFraction) {
+  NetworkConfig cfg;
+  cfg.channel.loss_probability = 0.5;
+  Rig rig(line_topology(), cfg);
+  auto& sched = rig.network.scheduler();
+  // 200 broadcasts from node 1; each neighbour should get ~50%.
+  for (int i = 0; i < 200; ++i) {
+    sched.at(sim::seconds(0.01 * (i + 1)), [&] { rig.network.node(1).broadcast(5, {}); });
+  }
+  rig.network.run();
+  const auto got = static_cast<double>(rig.apps[0]->seen.size());
+  EXPECT_NEAR(got / 200.0, 0.5, 0.12);
+  EXPECT_GT(rig.network.metrics().counter("channel.rx_lost"), 50u);
+}
+
+TEST(ChannelMacTest, DuplicateDataFramesAreSuppressed) {
+  // Simulate an ACK loss forcing a retransmission: drive the channel
+  // directly with two identical frames (same src/seq).
+  Rig rig(line_topology());
+  auto& sched = rig.network.scheduler();
+  Frame f;
+  f.src = 0;
+  f.dst = 1;
+  f.seq = 5;
+  f.type = 42;
+  sched.after(sim::seconds(0.001), [&] { rig.network.channel().transmit(0, f, nullptr); });
+  sched.after(sim::seconds(0.05), [&] { rig.network.channel().transmit(0, f, nullptr); });
+  rig.network.run();
+  EXPECT_EQ(rig.apps[1]->seen.size(), 1u);
+  EXPECT_EQ(rig.network.metrics().counter("mac.duplicate_suppressed"), 1u);
+}
+
+TEST(ChannelMacTest, QueueOverflowReportsFailure) {
+  NetworkConfig cfg;
+  cfg.mac.queue_limit = 2;
+  Rig rig(line_topology(), cfg);
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    for (int i = 0; i < 5; ++i) rig.network.node(0).send(1, 42, {});
+  });
+  rig.network.run();
+  EXPECT_EQ(rig.apps[0]->failed.size(), 3u);
+  EXPECT_EQ(rig.network.metrics().counter("mac.queue_drop"), 3u);
+}
+
+TEST(ChannelMacTest, TapSeesEveryTransmission) {
+  Rig rig(line_topology());
+  int tapped = 0;
+  rig.network.channel().add_tap([&](NodeId, const Frame&) { ++tapped; });
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    rig.network.node(1).broadcast(7, {});
+  });
+  rig.network.run();
+  EXPECT_EQ(tapped, 1);
+}
+
+TEST(NetworkTest, RejectsEmptyTopology) {
+  NetworkConfig cfg;
+  EXPECT_THROW(Network(Topology{{}, 50.0}, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icpda::net

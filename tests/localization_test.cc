@@ -1,0 +1,100 @@
+// Group-testing polluter localization against synthetic oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/localization.h"
+#include "proto/messages.h"
+#include "sim/rng.h"
+
+namespace icpda::core {
+namespace {
+
+/// Perfect oracle: the epoch is rejected iff the polluter may aggregate.
+EpochRunner perfect_oracle(net::NodeId polluter, std::uint32_t* rounds_used = nullptr) {
+  return [polluter, rounds_used](const net::Bytes& mask) {
+    if (rounds_used) ++*rounds_used;
+    proto::HelloMsg h;
+    h.allowed_mask = mask;
+    return !h.allows(polluter);
+  };
+}
+
+TEST(LocalizationTest, MaskHelper) {
+  const auto mask = make_allowed_mask(20, {3, 7});
+  proto::HelloMsg h;
+  h.allowed_mask = mask;
+  EXPECT_TRUE(h.allows(0));  // BS always allowed
+  EXPECT_TRUE(h.allows(3));
+  EXPECT_TRUE(h.allows(7));
+  EXPECT_FALSE(h.allows(4));
+}
+
+TEST(LocalizationTest, IsolatesPolluterWithPerfectOracle) {
+  for (const net::NodeId polluter : {1u, 57u, 199u, 255u}) {
+    const auto result = localize_polluter(256, perfect_oracle(polluter));
+    ASSERT_TRUE(result.isolated.has_value()) << "polluter " << polluter;
+    EXPECT_EQ(*result.isolated, polluter);
+  }
+}
+
+TEST(LocalizationTest, RoundsAreLogarithmic) {
+  for (const std::size_t n : {64, 256, 1024}) {
+    const auto result = localize_polluter(n, perfect_oracle(static_cast<net::NodeId>(n / 2)));
+    ASSERT_TRUE(result.isolated.has_value());
+    // log2(n-1) halvings + 6 confirmation rounds, small slack.
+    EXPECT_LE(result.rounds, static_cast<std::uint32_t>(std::ceil(std::log2(n))) + 7)
+        << "n=" << n;
+  }
+}
+
+TEST(LocalizationTest, NoPolluterAccusesNobody) {
+  const EpochRunner always_clean = [](const net::Bytes&) { return true; };
+  const auto result = localize_polluter(128, always_clean);
+  EXPECT_FALSE(result.isolated.has_value());
+}
+
+TEST(LocalizationTest, JammedNetworkAccusesNobody) {
+  // Every round rejected (e.g. wide-band jamming, not a single
+  // aggregator): the suspect set collapses and resets; no single node
+  // may be framed.
+  const EpochRunner always_dirty = [](const net::Bytes&) { return false; };
+  const auto result = localize_polluter(64, always_dirty, 20);
+  EXPECT_FALSE(result.isolated.has_value());
+}
+
+TEST(LocalizationTest, SurvivesNoisyDetection) {
+  // The oracle misses an active polluter 20% of the time (false
+  // accepts). Localization must still converge via the confirmation
+  // step + restart, just in more rounds.
+  sim::Rng rng(77);
+  const net::NodeId polluter = 99;
+  int isolated_count = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::Rng trial_rng = rng.fork("trial", static_cast<std::uint64_t>(trial));
+    const EpochRunner noisy = [&](const net::Bytes& mask) {
+      proto::HelloMsg h;
+      h.allowed_mask = mask;
+      const bool active = h.allows(polluter);
+      if (!active) return true;
+      return trial_rng.bernoulli(0.2);  // 20% missed detection
+    };
+    const auto result = localize_polluter(256, noisy, 200);
+    if (result.isolated && *result.isolated == polluter) ++isolated_count;
+    // It must never frame an innocent node.
+    if (result.isolated) {
+      EXPECT_EQ(*result.isolated, polluter);
+    }
+  }
+  EXPECT_GE(isolated_count, 7);
+}
+
+TEST(LocalizationTest, TinyNetworks) {
+  EXPECT_FALSE(localize_polluter(1, perfect_oracle(0)).isolated.has_value());
+  const auto two = localize_polluter(2, perfect_oracle(1));
+  ASSERT_TRUE(two.isolated.has_value());
+  EXPECT_EQ(*two.isolated, 1u);
+}
+
+}  // namespace
+}  // namespace icpda::core

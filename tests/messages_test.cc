@@ -1,0 +1,199 @@
+// Wire round-trips for every protocol message.
+#include <gtest/gtest.h>
+
+#include "proto/messages.h"
+
+namespace icpda::proto {
+namespace {
+
+TEST(MessagesTest, HelloRoundTrip) {
+  HelloMsg m;
+  m.query_id = 7;
+  m.hop = 3;
+  m.set_allowed(5, 64);
+  m.set_allowed(17, 64);
+  const auto back = HelloMsg::from_bytes(m.to_bytes());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->query_id, 7u);
+  EXPECT_EQ(back->hop, 3);
+  EXPECT_TRUE(back->allows(5));
+  EXPECT_TRUE(back->allows(17));
+  EXPECT_FALSE(back->allows(6));
+}
+
+TEST(MessagesTest, HelloEmptyMaskAllowsEveryone) {
+  HelloMsg m;
+  EXPECT_TRUE(m.allows(0));
+  EXPECT_TRUE(m.allows(123456));
+}
+
+TEST(MessagesTest, HelloMaskOutOfRangeIsDisallowed) {
+  HelloMsg m;
+  m.set_allowed(1, 16);  // two-byte mask
+  EXPECT_FALSE(m.allows(99));
+}
+
+TEST(MessagesTest, TagReportRoundTrip) {
+  TagReportMsg m;
+  m.query_id = 9;
+  m.reporter = 42;
+  m.aggregate = {3.0, 12.5, 60.25};
+  const auto back = TagReportMsg::from_bytes(m.to_bytes());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->reporter, 42u);
+  EXPECT_EQ(back->aggregate, m.aggregate);
+}
+
+TEST(MessagesTest, ReportRoundTripWithItems) {
+  ReportMsg m;
+  m.query_id = 1;
+  m.reporter = 10;
+  m.items.push_back({11, Aggregate{1.0, 2.0, 4.0}});
+  m.items.push_back({12, Aggregate{2.0, -3.0, 9.0}});
+  m.aggregate = {3.0, -1.0, 13.0};
+  const auto back = ReportMsg::from_bytes(m.to_bytes());
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->items.size(), 2u);
+  EXPECT_EQ(back->items[0], m.items[0]);
+  EXPECT_EQ(back->items[1], m.items[1]);
+  EXPECT_TRUE(back->claims(11));
+  EXPECT_FALSE(back->claims(13));
+}
+
+TEST(MessagesTest, ClusterHelloJoinRosterRoundTrip) {
+  ClusterHelloMsg ch;
+  ch.query_id = 2;
+  ch.head = 33;
+  ch.hop = 4;
+  auto ch2 = ClusterHelloMsg::from_bytes(ch.to_bytes());
+  ASSERT_TRUE(ch2);
+  EXPECT_EQ(ch2->head, 33u);
+
+  JoinMsg j;
+  j.query_id = 2;
+  j.member = 44;
+  j.head = 33;
+  auto j2 = JoinMsg::from_bytes(j.to_bytes());
+  ASSERT_TRUE(j2);
+  EXPECT_EQ(j2->member, 44u);
+
+  ClusterRosterMsg r;
+  r.query_id = 2;
+  r.head = 33;
+  r.members = {33, 44, 55};
+  r.seeds = {2, 3, 1};
+  auto r2 = ClusterRosterMsg::from_bytes(r.to_bytes());
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->members, r.members);
+  EXPECT_EQ(r2->seeds, r.seeds);
+}
+
+TEST(MessagesTest, ShareAndFAnnounceRoundTrip) {
+  ShareMsg s;
+  s.query_id = 3;
+  s.sender = 1;
+  s.recipient = 2;
+  s.sealed = {9, 8, 7};
+  auto s2 = ShareMsg::from_bytes(s.to_bytes());
+  ASSERT_TRUE(s2);
+  EXPECT_EQ(s2->sealed, s.sealed);
+
+  FAnnounceMsg f;
+  f.query_id = 3;
+  f.member = 2;
+  f.head = 1;
+  f.f = {1.5, 2.5, 3.5};
+  f.contributors = {1, 2, 3};
+  auto f2 = FAnnounceMsg::from_bytes(f.to_bytes());
+  ASSERT_TRUE(f2);
+  EXPECT_EQ(f2->f, f.f);
+  EXPECT_EQ(f2->contributors, f.contributors);
+}
+
+TEST(MessagesTest, ClusterDigestRoundTrip) {
+  ClusterDigestMsg d;
+  d.query_id = 4;
+  d.head = 7;
+  d.members = {7, 8, 9};
+  d.f_values = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  d.contributors = {7, 8, 9};
+  auto d2 = ClusterDigestMsg::from_bytes(d.to_bytes());
+  ASSERT_TRUE(d2);
+  EXPECT_EQ(d2->members, d.members);
+  ASSERT_EQ(d2->f_values.size(), 3u);
+  EXPECT_EQ(d2->f_values[1], (Aggregate{4, 5, 6}));
+  EXPECT_EQ(d2->contributors, d.contributors);
+}
+
+TEST(MessagesTest, AlarmRoundTripBothKinds) {
+  for (const auto kind : {AlarmMsg::kValueTamper, AlarmMsg::kDropSuspect}) {
+    AlarmMsg a;
+    a.query_id = 5;
+    a.kind = kind;
+    a.witness = 10;
+    a.accused = 20;
+    a.expected_sum = 99.5;
+    a.observed_sum = 42.0;
+    auto a2 = AlarmMsg::from_bytes(a.to_bytes());
+    ASSERT_TRUE(a2);
+    EXPECT_EQ(a2->kind, kind);
+    EXPECT_DOUBLE_EQ(a2->expected_sum, 99.5);
+  }
+}
+
+TEST(MessagesTest, SliceRoundTrip) {
+  SliceMsg s;
+  s.query_id = 6;
+  s.sender = 3;
+  s.recipient = 4;
+  s.sealed = {1, 1, 2, 3, 5};
+  auto s2 = SliceMsg::from_bytes(s.to_bytes());
+  ASSERT_TRUE(s2);
+  EXPECT_EQ(s2->sealed, s.sealed);
+}
+
+TEST(MessagesTest, MalformedBytesYieldNullopt) {
+  const net::Bytes junk{1, 2};
+  EXPECT_FALSE(HelloMsg::from_bytes(junk));
+  EXPECT_FALSE(ReportMsg::from_bytes(junk));
+  EXPECT_FALSE(TagReportMsg::from_bytes(junk));
+  EXPECT_FALSE(ClusterHelloMsg::from_bytes(junk));
+  EXPECT_FALSE(JoinMsg::from_bytes(junk));
+  EXPECT_FALSE(ClusterRosterMsg::from_bytes(junk));
+  EXPECT_FALSE(ShareMsg::from_bytes(junk));
+  EXPECT_FALSE(FAnnounceMsg::from_bytes(junk));
+  EXPECT_FALSE(ClusterDigestMsg::from_bytes(junk));
+  EXPECT_FALSE(AlarmMsg::from_bytes(junk));
+  EXPECT_FALSE(SliceMsg::from_bytes(junk));
+}
+
+TEST(AggregateTest, MonoidLaws) {
+  const Aggregate a = Aggregate::of(2.0);
+  const Aggregate b = Aggregate::of(-3.0);
+  const Aggregate c = Aggregate::of(7.0);
+  // Associativity & commutativity of merge.
+  EXPECT_EQ(a.merged(b).merged(c), a.merged(b.merged(c)));
+  EXPECT_EQ(a.merged(b), b.merged(a));
+  // Identity.
+  EXPECT_EQ(a.merged(Aggregate{}), a);
+}
+
+TEST(AggregateTest, StatisticsFinishers) {
+  Aggregate agg;
+  for (const double r : {1.0, 2.0, 3.0, 4.0}) agg.merge(Aggregate::of(r));
+  EXPECT_DOUBLE_EQ(agg.count, 4.0);
+  EXPECT_DOUBLE_EQ(agg.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(agg.variance(), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(agg.stddev() * agg.stddev(), 1.25);
+}
+
+TEST(AggregateTest, PowerMeanApproximatesMax) {
+  const std::vector<double> xs{1.0, 3.0, 7.0, 2.0};
+  const double k = 24.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += power_contribution(x, k);
+  EXPECT_NEAR(power_mean_finish(sum, k), 7.0, 0.45);
+}
+
+}  // namespace
+}  // namespace icpda::proto

@@ -1,0 +1,327 @@
+// Simulation kernel: scheduler, RNG, metrics, time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace icpda::sim {
+namespace {
+
+// ---- SimTime --------------------------------------------------------
+
+TEST(SimTimeTest, ArithmeticAndOrdering) {
+  const SimTime a = seconds(1.5);
+  const SimTime b = millis(500);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((2.0 * b).millis(), 1000.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(micros(1000), millis(1));
+  EXPECT_TRUE(SimTime::zero().is_finite());
+  EXPECT_FALSE(SimTime::infinity().is_finite());
+}
+
+// ---- Scheduler ------------------------------------------------------
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(seconds(3.0), [&] { order.push_back(3); });
+  sched.at(seconds(1.0), [&] { order.push_back(1); });
+  sched.at(seconds(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(sched.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now().seconds(), 3.0);
+}
+
+TEST(SchedulerTest, EqualTimesFireInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.at(seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, EventsScheduledDuringRunAreExecuted) {
+  Scheduler sched;
+  int fired = 0;
+  sched.at(seconds(1.0), [&] {
+    ++fired;
+    sched.after(seconds(1.0), [&] { ++fired; });
+  });
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sched.now().seconds(), 2.0);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.at(seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));  // second cancel is a no-op
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsHarmless) {
+  Scheduler sched;
+  const EventId id = sched.at(seconds(1.0), [] {});
+  sched.run();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  std::vector<double> fired_at;
+  for (int i = 1; i <= 5; ++i) {
+    sched.at(seconds(i), [&fired_at, &sched] { fired_at.push_back(sched.now().seconds()); });
+  }
+  sched.run_until(seconds(2.5));
+  EXPECT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.now().seconds(), 2.5);
+  sched.run();
+  EXPECT_EQ(fired_at.size(), 5u);
+}
+
+TEST(SchedulerTest, RunStepsBoundsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sched.at(seconds(i + 1), [&] { ++fired; });
+  EXPECT_EQ(sched.run_steps(4), 4u);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(SchedulerTest, RejectsPastAndEmptyEvents) {
+  Scheduler sched;
+  sched.at(seconds(5.0), [] {});
+  sched.run();
+  EXPECT_THROW(sched.at(seconds(1.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(sched.at(seconds(10.0), EventFn{}), std::invalid_argument);
+}
+
+TEST(SchedulerTest, ResetClearsQueueAndClock) {
+  Scheduler sched;
+  bool fired = false;
+  sched.at(seconds(1.0), [&] { fired = true; });
+  sched.reset();
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sched.now().seconds(), 0.0);
+}
+
+// ---- Rng ------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 50000.0, 0.5, 0.02);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  const Rng root(42);
+  Rng f1 = root.fork("alpha");
+  Rng f2 = root.fork("beta");
+  EXPECT_NE(f1(), f2());
+  // Same name -> same stream, and forking does not perturb the parent.
+  Rng f1_a = root.fork("alpha");
+  Rng f1_b = root.fork("alpha");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(f1_a(), f1_b());
+}
+
+TEST(RngTest, IndexedForksDiffer) {
+  const Rng root(42);
+  Rng a = root.fork("node", 1);
+  Rng b = root.fork("node", 2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(RngTest, SampleIndicesDistinctAndComplete) {
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto s = rng.sample_indices(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    EXPECT_LT(s.back(), 20u);
+  }
+  auto all = rng.sample_indices(5, 5);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_THROW((void)rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ---- Metrics --------------------------------------------------------
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(37);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps into bucket 0
+  h.add(100.0);  // clamps into bucket 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[9], 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+}
+
+TEST(MetricRegistryTest, CountersAndStats) {
+  MetricRegistry m;
+  m.add("x");
+  m.add("x", 4);
+  m.observe("lat", 1.0);
+  m.observe("lat", 3.0);
+  EXPECT_EQ(m.counter("x"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(m.stat("lat").mean(), 2.0);
+  EXPECT_EQ(m.stat("missing").count(), 0u);
+  m.clear();
+  EXPECT_EQ(m.counter("x"), 0u);
+}
+
+}  // namespace
+}  // namespace icpda::sim

@@ -1,0 +1,77 @@
+// TAG baseline: end-to-end epochs on random deployments.
+#include "baselines/tag.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "proto/epoch.h"
+
+namespace icpda {
+namespace {
+
+net::NetworkConfig paper_network(std::size_t n, std::uint64_t seed) {
+  net::NetworkConfig cfg;
+  cfg.node_count = n;
+  cfg.seed = seed;
+  return cfg;  // 400x400 field, 50 m range, 1 Mbps — the paper setup
+}
+
+TEST(TagTest, CountQueryDenseNetworkIsNearlyComplete) {
+  net::Network network(paper_network(400, 42));
+  ASSERT_TRUE(network.topology().connected());
+  baselines::TagConfig cfg;
+  const auto outcome =
+      baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
+  ASSERT_TRUE(outcome.result.has_value());
+  // COUNT over 399 sensors (BS contributes nothing).
+  EXPECT_GT(outcome.result->count, 0.93 * 399);
+  EXPECT_LE(outcome.result->count, 399.0);
+}
+
+TEST(TagTest, SumMatchesCountTimesReading) {
+  net::Network network(paper_network(300, 7));
+  baselines::TagConfig cfg;
+  const auto outcome =
+      baselines::run_tag_epoch(network, cfg, proto::constant_reading(2.5));
+  ASSERT_TRUE(outcome.result.has_value());
+  EXPECT_NEAR(outcome.result->sum, 2.5 * outcome.result->count, 1e-9);
+}
+
+TEST(TagTest, EveryJoinedNodeHasParent) {
+  net::Network network(paper_network(250, 11));
+  baselines::TagConfig cfg;
+  std::vector<baselines::TagApp*> apps;
+  baselines::TagOutcome outcome;
+  network.attach_apps([&](net::Node&) {
+    auto app = std::make_unique<baselines::TagApp>(cfg, proto::constant_reading(1.0),
+                                                   &outcome);
+    apps.push_back(app.get());
+    return app;
+  });
+  network.run();
+  std::size_t joined = 0;
+  for (std::size_t id = 1; id < network.size(); ++id) {
+    if (apps[id]->joined()) {
+      ++joined;
+      EXPECT_NE(apps[id]->parent(), net::kNoNode);
+      EXPECT_GE(apps[id]->hop(), 1);
+    }
+  }
+  EXPECT_GT(joined, 0.9 * static_cast<double>(network.size() - 1));
+}
+
+TEST(TagTest, DeterministicForFixedSeed) {
+  const auto run = [] {
+    net::Network network(paper_network(200, 99));
+    baselines::TagConfig cfg;
+    return baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_TRUE(a.result && b.result);
+  EXPECT_EQ(a.result->count, b.result->count);
+  EXPECT_EQ(a.result->sum, b.result->sum);
+}
+
+}  // namespace
+}  // namespace icpda

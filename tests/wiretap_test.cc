@@ -1,0 +1,74 @@
+// Frame-level eavesdropper: ciphertext is unreadable without key
+// material; captures and EG key reuse open exactly the modelled links.
+#include <gtest/gtest.h>
+
+#include "attacks/wiretap.h"
+#include "core/icpda.h"
+#include "crypto/keyring.h"
+#include "net/network.h"
+
+namespace icpda::attacks {
+namespace {
+
+net::NetworkConfig paper_network(std::size_t n, std::uint64_t seed) {
+  net::NetworkConfig cfg;
+  cfg.node_count = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(WiretapTest, NoCapturesOpenNothingUnderPairwiseKeys) {
+  net::Network network(paper_network(300, 42));
+  const crypto::MasterPairwiseScheme keys{crypto::Key::from_seed(1)};
+  Wiretap tap(keys, {});
+  tap.attach(network.channel());
+  core::IcpdaConfig cfg;
+  core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+  EXPECT_GT(tap.stats().share_frames, 100u);
+  EXPECT_EQ(tap.stats().shares_opened, 0u);
+  EXPECT_GT(tap.stats().cleartext_frames, 100u);
+  EXPECT_DOUBLE_EQ(tap.effective_px(network.topology()), 0.0);
+}
+
+TEST(WiretapTest, CapturedEndpointOpensItsLinks) {
+  net::Network network(paper_network(300, 43));
+  const crypto::MasterPairwiseScheme keys{crypto::Key::from_seed(1)};
+  // Capture a handful of nodes; every share to/from them is readable.
+  Wiretap tap(keys, {50, 51, 52, 53, 54, 55, 56, 57, 58, 59});
+  tap.attach(network.channel());
+  core::IcpdaConfig cfg;
+  core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+  EXPECT_GT(tap.stats().shares_opened, 0u);
+  EXPECT_LT(tap.stats().shares_opened, tap.stats().share_frames);
+  EXPECT_GT(tap.effective_px(network.topology()), 0.0);
+}
+
+TEST(WiretapTest, EgKeyReuseYieldsStructuralPx) {
+  net::Network network(paper_network(300, 44));
+  sim::Rng rng(9);
+  // Small pool relative to rings: plenty of reuse.
+  const crypto::EgPredistribution keys(300, 200, 40, rng);
+  Wiretap tap(keys, {10, 20, 30});
+  const double px = tap.effective_px(network.topology());
+  EXPECT_GT(px, 0.05);  // key reuse must make some links readable
+  EXPECT_LT(px, 1.0);
+  // Larger pools reduce the effective px.
+  const crypto::EgPredistribution sparse(300, 5000, 40, rng);
+  Wiretap tap2(sparse, {10, 20, 30});
+  EXPECT_LT(tap2.effective_px(network.topology()), px);
+}
+
+TEST(WiretapTest, LinkReadableMatchesScheme) {
+  sim::Rng rng(3);
+  const crypto::EgPredistribution keys(20, 100, 30, rng);
+  Wiretap tap(keys, {5});
+  for (net::NodeId a = 0; a < 20; ++a) {
+    for (net::NodeId b = a + 1; b < 20; ++b) {
+      const bool expected = a == 5 || b == 5 || keys.third_party_can_read(a, b, 5);
+      EXPECT_EQ(tap.link_readable(a, b), expected) << a << "-" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icpda::attacks
