@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_pc.dir/bench_adaptive_pc.cc.o"
+  "CMakeFiles/bench_adaptive_pc.dir/bench_adaptive_pc.cc.o.d"
+  "bench_adaptive_pc"
+  "bench_adaptive_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

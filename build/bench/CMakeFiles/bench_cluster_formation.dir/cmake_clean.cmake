@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_formation.dir/bench_cluster_formation.cc.o"
+  "CMakeFiles/bench_cluster_formation.dir/bench_cluster_formation.cc.o.d"
+  "bench_cluster_formation"
+  "bench_cluster_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

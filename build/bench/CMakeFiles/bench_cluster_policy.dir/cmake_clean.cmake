@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_policy.dir/bench_cluster_policy.cc.o"
+  "CMakeFiles/bench_cluster_policy.dir/bench_cluster_policy.cc.o.d"
+  "bench_cluster_policy"
+  "bench_cluster_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_overhead.dir/bench_comm_overhead.cc.o"
+  "CMakeFiles/bench_comm_overhead.dir/bench_comm_overhead.cc.o.d"
+  "bench_comm_overhead"
+  "bench_comm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keyscheme.dir/bench_keyscheme.cc.o"
+  "CMakeFiles/bench_keyscheme.dir/bench_keyscheme.cc.o.d"
+  "bench_keyscheme"
+  "bench_keyscheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyscheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/icpda_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/icpda_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icpda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icpda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/icpda_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/icpda_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icpda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icpda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

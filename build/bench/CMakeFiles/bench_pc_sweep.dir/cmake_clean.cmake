@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pc_sweep.dir/bench_pc_sweep.cc.o"
+  "CMakeFiles/bench_pc_sweep.dir/bench_pc_sweep.cc.o.d"
+  "bench_pc_sweep"
+  "bench_pc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_metering.dir/smart_metering.cpp.o"
+  "CMakeFiles/smart_metering.dir/smart_metering.cpp.o.d"
+  "smart_metering"
+  "smart_metering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_metering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

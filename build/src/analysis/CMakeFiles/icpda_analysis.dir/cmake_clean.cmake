@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_analysis.dir/models.cc.o"
+  "CMakeFiles/icpda_analysis.dir/models.cc.o.d"
+  "libicpda_analysis.a"
+  "libicpda_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/eavesdropper.cc" "src/attacks/CMakeFiles/icpda_attacks.dir/eavesdropper.cc.o" "gcc" "src/attacks/CMakeFiles/icpda_attacks.dir/eavesdropper.cc.o.d"
+  "/root/repo/src/attacks/linear_audit.cc" "src/attacks/CMakeFiles/icpda_attacks.dir/linear_audit.cc.o" "gcc" "src/attacks/CMakeFiles/icpda_attacks.dir/linear_audit.cc.o.d"
+  "/root/repo/src/attacks/wiretap.cc" "src/attacks/CMakeFiles/icpda_attacks.dir/wiretap.cc.o" "gcc" "src/attacks/CMakeFiles/icpda_attacks.dir/wiretap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icpda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icpda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icpda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icpda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/icpda_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_attacks.dir/eavesdropper.cc.o"
+  "CMakeFiles/icpda_attacks.dir/eavesdropper.cc.o.d"
+  "CMakeFiles/icpda_attacks.dir/linear_audit.cc.o"
+  "CMakeFiles/icpda_attacks.dir/linear_audit.cc.o.d"
+  "CMakeFiles/icpda_attacks.dir/wiretap.cc.o"
+  "CMakeFiles/icpda_attacks.dir/wiretap.cc.o.d"
+  "libicpda_attacks.a"
+  "libicpda_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_baselines.dir/smart.cc.o"
+  "CMakeFiles/icpda_baselines.dir/smart.cc.o.d"
+  "CMakeFiles/icpda_baselines.dir/tag.cc.o"
+  "CMakeFiles/icpda_baselines.dir/tag.cc.o.d"
+  "libicpda_baselines.a"
+  "libicpda_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/icpda_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/icpda_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/cpda_algebra.cc" "src/core/CMakeFiles/icpda_core.dir/cpda_algebra.cc.o" "gcc" "src/core/CMakeFiles/icpda_core.dir/cpda_algebra.cc.o.d"
+  "/root/repo/src/core/icpda.cc" "src/core/CMakeFiles/icpda_core.dir/icpda.cc.o" "gcc" "src/core/CMakeFiles/icpda_core.dir/icpda.cc.o.d"
+  "/root/repo/src/core/integrity.cc" "src/core/CMakeFiles/icpda_core.dir/integrity.cc.o" "gcc" "src/core/CMakeFiles/icpda_core.dir/integrity.cc.o.d"
+  "/root/repo/src/core/localization.cc" "src/core/CMakeFiles/icpda_core.dir/localization.cc.o" "gcc" "src/core/CMakeFiles/icpda_core.dir/localization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/icpda_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icpda_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icpda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icpda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

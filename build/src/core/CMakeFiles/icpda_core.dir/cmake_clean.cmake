@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_core.dir/cluster.cc.o"
+  "CMakeFiles/icpda_core.dir/cluster.cc.o.d"
+  "CMakeFiles/icpda_core.dir/cpda_algebra.cc.o"
+  "CMakeFiles/icpda_core.dir/cpda_algebra.cc.o.d"
+  "CMakeFiles/icpda_core.dir/icpda.cc.o"
+  "CMakeFiles/icpda_core.dir/icpda.cc.o.d"
+  "CMakeFiles/icpda_core.dir/integrity.cc.o"
+  "CMakeFiles/icpda_core.dir/integrity.cc.o.d"
+  "CMakeFiles/icpda_core.dir/localization.cc.o"
+  "CMakeFiles/icpda_core.dir/localization.cc.o.d"
+  "libicpda_core.a"
+  "libicpda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/cipher.cc" "src/crypto/CMakeFiles/icpda_crypto.dir/cipher.cc.o" "gcc" "src/crypto/CMakeFiles/icpda_crypto.dir/cipher.cc.o.d"
+  "/root/repo/src/crypto/keyring.cc" "src/crypto/CMakeFiles/icpda_crypto.dir/keyring.cc.o" "gcc" "src/crypto/CMakeFiles/icpda_crypto.dir/keyring.cc.o.d"
+  "/root/repo/src/crypto/prf.cc" "src/crypto/CMakeFiles/icpda_crypto.dir/prf.cc.o" "gcc" "src/crypto/CMakeFiles/icpda_crypto.dir/prf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/icpda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icpda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_crypto.dir/cipher.cc.o"
+  "CMakeFiles/icpda_crypto.dir/cipher.cc.o.d"
+  "CMakeFiles/icpda_crypto.dir/keyring.cc.o"
+  "CMakeFiles/icpda_crypto.dir/keyring.cc.o.d"
+  "CMakeFiles/icpda_crypto.dir/prf.cc.o"
+  "CMakeFiles/icpda_crypto.dir/prf.cc.o.d"
+  "libicpda_crypto.a"
+  "libicpda_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_net.dir/channel.cc.o"
+  "CMakeFiles/icpda_net.dir/channel.cc.o.d"
+  "CMakeFiles/icpda_net.dir/geometry.cc.o"
+  "CMakeFiles/icpda_net.dir/geometry.cc.o.d"
+  "CMakeFiles/icpda_net.dir/mac.cc.o"
+  "CMakeFiles/icpda_net.dir/mac.cc.o.d"
+  "CMakeFiles/icpda_net.dir/network.cc.o"
+  "CMakeFiles/icpda_net.dir/network.cc.o.d"
+  "CMakeFiles/icpda_net.dir/node.cc.o"
+  "CMakeFiles/icpda_net.dir/node.cc.o.d"
+  "CMakeFiles/icpda_net.dir/topology.cc.o"
+  "CMakeFiles/icpda_net.dir/topology.cc.o.d"
+  "libicpda_net.a"
+  "libicpda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_proto.dir/messages.cc.o"
+  "CMakeFiles/icpda_proto.dir/messages.cc.o.d"
+  "libicpda_proto.a"
+  "libicpda_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

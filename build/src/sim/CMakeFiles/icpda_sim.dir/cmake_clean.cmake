@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_sim.dir/log.cc.o"
+  "CMakeFiles/icpda_sim.dir/log.cc.o.d"
+  "CMakeFiles/icpda_sim.dir/metrics.cc.o"
+  "CMakeFiles/icpda_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/icpda_sim.dir/rng.cc.o"
+  "CMakeFiles/icpda_sim.dir/rng.cc.o.d"
+  "CMakeFiles/icpda_sim.dir/scheduler.cc.o"
+  "CMakeFiles/icpda_sim.dir/scheduler.cc.o.d"
+  "libicpda_sim.a"
+  "libicpda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

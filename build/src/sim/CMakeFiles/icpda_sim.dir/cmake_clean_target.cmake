@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicpda_sim.a"
+)

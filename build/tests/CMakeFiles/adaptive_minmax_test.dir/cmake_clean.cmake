@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_minmax_test.dir/adaptive_minmax_test.cc.o"
+  "CMakeFiles/adaptive_minmax_test.dir/adaptive_minmax_test.cc.o.d"
+  "adaptive_minmax_test"
+  "adaptive_minmax_test.pdb"
+  "adaptive_minmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_minmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

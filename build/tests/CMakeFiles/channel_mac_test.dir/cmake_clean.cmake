@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_mac_test.dir/channel_mac_test.cc.o"
+  "CMakeFiles/channel_mac_test.dir/channel_mac_test.cc.o.d"
+  "channel_mac_test"
+  "channel_mac_test.pdb"
+  "channel_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpda_algebra_test.dir/cpda_algebra_test.cc.o"
+  "CMakeFiles/cpda_algebra_test.dir/cpda_algebra_test.cc.o.d"
+  "cpda_algebra_test"
+  "cpda_algebra_test.pdb"
+  "cpda_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpda_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_integration_test.dir/icpda_integration_test.cc.o"
+  "CMakeFiles/icpda_integration_test.dir/icpda_integration_test.cc.o.d"
+  "icpda_integration_test"
+  "icpda_integration_test.pdb"
+  "icpda_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

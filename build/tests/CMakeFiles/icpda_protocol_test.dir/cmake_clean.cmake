@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icpda_protocol_test.dir/icpda_protocol_test.cc.o"
+  "CMakeFiles/icpda_protocol_test.dir/icpda_protocol_test.cc.o.d"
+  "icpda_protocol_test"
+  "icpda_protocol_test.pdb"
+  "icpda_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icpda_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

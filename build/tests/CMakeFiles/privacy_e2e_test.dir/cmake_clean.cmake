@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_e2e_test.dir/privacy_e2e_test.cc.o"
+  "CMakeFiles/privacy_e2e_test.dir/privacy_e2e_test.cc.o.d"
+  "privacy_e2e_test"
+  "privacy_e2e_test.pdb"
+  "privacy_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

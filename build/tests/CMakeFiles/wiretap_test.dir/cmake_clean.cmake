@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiretap_test.dir/wiretap_test.cc.o"
+  "CMakeFiles/wiretap_test.dir/wiretap_test.cc.o.d"
+  "wiretap_test"
+  "wiretap_test.pdb"
+  "wiretap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiretap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

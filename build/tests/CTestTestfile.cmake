@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_mac_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_test[1]_include.cmake")
+include("/root/repo/build/tests/icpda_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/cpda_algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/integrity_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/smart_test[1]_include.cmake")
+include("/root/repo/build/tests/localization_test[1]_include.cmake")
+include("/root/repo/build/tests/wiretap_test[1]_include.cmake")
+include("/root/repo/build/tests/icpda_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_minmax_test[1]_include.cmake")
