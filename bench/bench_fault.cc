@@ -1,0 +1,79 @@
+// F9 [reconstructed] — graceful degradation under node crashes:
+// coverage, aggregate accuracy, false-rejection rate and healing
+// overhead as the per-epoch crash probability sweeps 0..30%, at
+// N in {200, 400, 600}. No attackers: every rejection is a false
+// positive caused by crash-induced loss, and the protocol's job is to
+// keep that rate at zero while salvaging as much of the surviving
+// population as the failover/reroute machinery allows.
+//
+// Output is one JSON line per (N, crash_rate) point so downstream
+// plotting can stream-parse the sweep.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/icpda.h"
+#include "sim/metrics.h"
+
+int main() {
+  using namespace icpda;
+  const auto keys = bench::default_keys();
+  const int trials = 2 * bench::trials();
+
+  std::printf("# F9: crash-rate sweep (coverage / accuracy / false rejections / overhead)\n");
+  std::printf("# trials per point: %d\n", trials);
+
+  const double crash_rates[] = {0.0, 0.05, 0.10, 0.20, 0.30};
+  std::size_t row = 0;
+  for (const std::size_t n : {200u, 400u, 600u}) {
+    for (const double crash_rate : crash_rates) {
+      int rejected = 0;
+      sim::RunningStats crashed, coverage, reroutes, failovers, recoveries;
+      sim::RunningStats mean_err, tx_attempts;
+      double coverage_min = 1.0;
+      for (int t = 0; t < trials; ++t) {
+        net::Network network(bench::paper_network(
+            n, bench::run_seed(9, row, static_cast<std::uint64_t>(t))));
+        core::IcpdaConfig cfg;
+        // Healing budget: an exhausted MAC retry ladder plus reroute
+        // backoff and a watchdog rehand need ~2.5 s beyond the default
+        // close slack (see DESIGN.md, fault model).
+        cfg.timing.close_slack_s = 2.5;
+        core::FaultPlan faults;
+        faults.crash_probability = crash_rate;
+        const auto out = core::run_icpda_epoch(
+            network, cfg, proto::constant_reading(1.0), keys, {}, faults);
+        if (!out.accepted()) ++rejected;
+        crashed.add(out.nodes_crashed);
+        coverage.add(out.coverage);
+        if (out.coverage < coverage_min) coverage_min = out.coverage;
+        reroutes.add(out.reroutes);
+        failovers.add(
+            static_cast<double>(network.metrics().counter("icpda.head_failover") +
+                                network.metrics().counter("icpda.backup_report")));
+        recoveries.add(
+            static_cast<double>(network.metrics().counter("icpda.phase2_recovery")));
+        // Readings are the constant 1.0, so the recovered mean should
+        // be 1.0 whatever subset of the network survives.
+        if (out.result && out.result->count > 0.0) {
+          mean_err.add(std::abs(out.result->sum / out.result->count - 1.0));
+        }
+        tx_attempts.add(
+            static_cast<double>(network.metrics().counter("mac.tx_attempts")));
+      }
+      std::printf(
+          "{\"n\": %zu, \"crash_rate\": %.2f, \"epochs\": %d, "
+          "\"crashed_mean\": %.1f, \"coverage_mean\": %.3f, "
+          "\"coverage_min\": %.3f, \"mean_abs_err\": %.4f, "
+          "\"false_rejection_rate\": %.3f, \"reroutes_mean\": %.1f, "
+          "\"head_failovers_mean\": %.1f, \"recovery_rounds_mean\": %.1f, "
+          "\"mac_tx_attempts_mean\": %.0f}\n",
+          n, crash_rate, trials, crashed.mean(), coverage.mean(), coverage_min,
+          mean_err.mean(), static_cast<double>(rejected) / trials,
+          reroutes.mean(), failovers.mean(), recoveries.mean(),
+          tx_attempts.mean());
+      std::fflush(stdout);
+      ++row;
+    }
+  }
+  return 0;
+}

@@ -46,6 +46,10 @@ class ClusterContext {
   /// Seeds of all members, roster order (doubles for the solver).
   [[nodiscard]] std::vector<double> seed_values() const;
 
+  /// Raw integer seeds, roster order (reused verbatim when a recovery
+  /// roster narrows the cluster to its surviving members).
+  [[nodiscard]] const std::vector<std::uint32_t>& seed_ints() const { return seeds_; }
+
   // ---- Phase II bookkeeping ----------------------------------------
 
   /// The share p_self(x_self) this node keeps for itself.
@@ -73,6 +77,12 @@ class ClusterContext {
                        std::vector<std::uint32_t> contributors);
 
   [[nodiscard]] std::size_t announces_received() const { return announces_.size(); }
+
+  /// Whether a specific member's F announcement has arrived — the
+  /// liveness evidence Phase II recovery keys on.
+  [[nodiscard]] bool announced(net::NodeId member) const {
+    return announces_.contains(member);
+  }
 
   /// All roster members have announced F.
   [[nodiscard]] bool complete() const { return announces_.size() == members_.size(); }

@@ -132,6 +132,41 @@ struct IcpdaConfig {
   /// alarms with deviation below Th are ignored (loss tolerance).
   double th = 0.5;
 
+  // -- Fault tolerance (crash/outage degradation) ---------------------
+  /// Phase II recovery: if the solve deadline passes with F values
+  /// missing or inconsistent, the head re-fixes the roster to the
+  /// members whose F arrived (proved alive) and reruns the share
+  /// exchange once at the reduced degree, instead of failing the
+  /// cluster outright.
+  bool phase2_recovery = true;
+  /// Grace past the (recovery-extended) solve deadline before a member
+  /// that never received a digest writes its cluster off and marks
+  /// itself unclustered instead of witnessing for a dead head.
+  double digest_grace_s = 0.4;
+  [[nodiscard]] double digest_deadline_s(std::size_t m) const {
+    return solve_at_s(m) * (phase2_recovery ? 2.0 : 1.0) + digest_grace_s;
+  }
+  /// Phase III failover: a reporter whose parent exhausts MAC retries
+  /// (or stays watchdog-silent) adopts a backup parent — the best
+  /// strictly-shallower neighbour heard during the flood — and
+  /// re-dispatches after a short backoff.
+  bool reroute_enabled = true;
+  /// Parent switches allowed per node per epoch.
+  std::uint32_t reroute_attempts = 2;
+  /// Base backoff before re-dispatching through the new parent.
+  double reroute_backoff_s = 0.15;
+  /// Head failover: the first roster member after the head re-issues
+  /// the endorsed cluster sum (under the head's reporter id, so the BS
+  /// dedupes) when the head dies between digest and report. The backup
+  /// first probes the head with a unicast; only a probe the MAC gives
+  /// up on (no ACK from the head) triggers the takeover.
+  bool backup_reporter = true;
+  /// Probe this long before the last report slot (covers a full MAC
+  /// retry ladder so the verdict is in by the backup's slot).
+  double backup_probe_lead_s = 0.9;
+  /// The backup's own slot sits this far past the last regular slot.
+  double backup_slot_slack_s = 0.12;
+
   /// Optional aggregator-eligibility bitset carried in the query flood
   /// (bit per node id). Empty = every node may head/aggregate. The
   /// bisection localizer narrows this set round by round.

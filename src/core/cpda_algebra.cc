@@ -194,6 +194,7 @@ std::optional<std::int64_t> solve_cluster_sum_exact(
 net::Bytes ShareBody::to_bytes() const {
   net::WireWriter w;
   w.u32(query_id);
+  w.u8(round);
   share.write(w);
   return std::move(w).take();
 }
@@ -203,6 +204,7 @@ std::optional<ShareBody> ShareBody::from_bytes(const net::Bytes& b) {
     net::WireReader r(b);
     ShareBody body;
     body.query_id = r.u32();
+    body.round = r.u8();
     body.share = proto::Aggregate::read(r);
     return body;
   } catch (const net::WireError&) {

@@ -82,6 +82,11 @@ struct ExactShareSet {
 
 struct ShareBody {
   std::uint32_t query_id = 0;
+  /// Phase II round the share was cut for (0 = normal, 1 = recovery
+  /// re-share after a member crash). Shares from different rounds come
+  /// from polynomials of different degree and must never be mixed; the
+  /// round rides inside the sealed body so it is authenticated.
+  std::uint8_t round = 0;
   proto::Aggregate share;
 
   [[nodiscard]] net::Bytes to_bytes() const;

@@ -1,0 +1,37 @@
+#include "core/faults.h"
+
+namespace icpda::core {
+
+std::uint32_t schedule_fault_plan(net::Network& net, const FaultPlan& plan,
+                                  sim::Rng rng) {
+  if (!plan.active()) return 0;
+  auto& sched = net.scheduler();
+  std::uint32_t crashes = 0;
+
+  const auto schedule_crash = [&](net::NodeId id, double at_s) {
+    sched.after(sim::seconds(at_s), [&net, id] { net.set_node_down(id); });
+    ++crashes;
+  };
+
+  for (net::NodeId id = 1; id < net.size(); ++id) {
+    if (const auto it = plan.crash_at_s.find(id); it != plan.crash_at_s.end()) {
+      schedule_crash(id, it->second);
+      continue;  // an explicit crash overrides the random draw
+    }
+    if (plan.crash_probability > 0.0 && rng.bernoulli(plan.crash_probability)) {
+      schedule_crash(id, rng.uniform(0.0, plan.crash_window_s));
+    }
+  }
+
+  for (const auto& [id, intervals] : plan.outages) {
+    if (id == net.base_station() || id >= net.size()) continue;
+    for (const auto& o : intervals) {
+      if (o.up_at_s <= o.down_at_s) continue;
+      sched.after(sim::seconds(o.down_at_s), [&net, id] { net.set_node_down(id); });
+      sched.after(sim::seconds(o.up_at_s), [&net, id] { net.set_node_up(id); });
+    }
+  }
+  return crashes;
+}
+
+}  // namespace icpda::core

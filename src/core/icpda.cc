@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "crypto/cipher.h"
@@ -119,7 +120,16 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
 
   // Tree join: only via a participating parent (the BS, id 0, always
   // participates), and only if we participate ourselves.
-  if (joined_) return;
+  if (joined_) {
+    // Late flood copies advertise alternative parents. Keep the
+    // strictly shallower ones as Phase III failover candidates (strict
+    // depth decrease keeps the reroute graph loop-free).
+    if (frame.src != parent_ && hello->hop < hop_ &&
+        (frame.src == 0 || hello->allows(frame.src))) {
+      backup_parents_[frame.src] = hello->hop;
+    }
+    return;
+  }
   if (!hello->allows(node.id())) return;  // excluded this round
   if (frame.src != 0 && !hello->allows(frame.src)) {
     node.metrics().add("icpda.parent_excluded");
@@ -187,6 +197,11 @@ void IcpdaApp::handle_cluster_hello(net::Node& node, const net::Frame& frame) {
       heard_heads_.end()) {
     heard_heads_.push_back(msg->head);
   }
+  // Heads advertise their tree hop: shallower ones double as Phase III
+  // failover parents.
+  if (joined_ && msg->head != parent_ && msg->hop < hop_) {
+    backup_parents_[msg->head] = msg->hop;
+  }
 }
 
 void IcpdaApp::send_join(net::Node& node) {
@@ -203,8 +218,13 @@ void IcpdaApp::send_join(net::Node& node) {
     node.send(chosen_head_, proto::kJoin, std::move(payload));
   });
   node.metrics().add("icpda.join_sent");
-  node.schedule(sim::seconds(config_.roster_timeout_s), [this, &node] {
-    if (role_ == ClusterRole::kMember && !cluster_.has_roster()) {
+  // Guard the timeout with the attempt counter: the MAC-failure fast
+  // path below can re-join earlier, and a stale timer from the previous
+  // join must not cut the new head's answer window short.
+  node.schedule(sim::seconds(config_.roster_timeout_s),
+                [this, &node, attempt = join_attempts_] {
+    if (role_ == ClusterRole::kMember && !cluster_.has_roster() &&
+        join_attempts_ == attempt) {
       node.metrics().add("icpda.roster_missed");
       retry_or_give_up(node);
     }
@@ -218,6 +238,17 @@ void IcpdaApp::retry_or_give_up(net::Node& node) {
     node.metrics().add("icpda.rejoin");
     role_ = ClusterRole::kUndecided;
     send_join(node);
+    return;
+  }
+  if (heard_heads_.empty()) {
+    // Every head we ever heard is gone (crashed or unreachable). That
+    // is not "no cluster wanted us" — it is "no cluster exists here":
+    // re-enter the role decision at its final round, which makes us a
+    // lone head, so our reading still reaches the BS under the
+    // small-cluster policy instead of silently vanishing.
+    node.metrics().add("icpda.head_failover");
+    role_ = ClusterRole::kUndecided;
+    decide_role(node, config_.max_join_rounds);
     return;
   }
   role_ = ClusterRole::kUnclustered;
@@ -353,9 +384,13 @@ void IcpdaApp::close_roster(net::Node& node) {
 }
 
 void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
-  if (role_ != ClusterRole::kMember) return;
   const auto roster = ClusterRosterMsg::from_bytes(frame.payload);
   if (!roster || roster->query_id != config_.query_id) return;
+  if (roster->round > 0) {
+    handle_recovery_roster(node, *roster);
+    return;
+  }
+  if (role_ != ClusterRole::kMember) return;
   if (roster->head != chosen_head_) return;
   if (cluster_.has_roster()) return;
 
@@ -377,11 +412,76 @@ void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
   node.metrics().add("icpda.member");
 
   // Shares that raced ahead of our roster copy are valid now.
-  for (const auto& [sender, share] : early_shares_) {
-    if (cluster_.in_roster(sender)) cluster_.record_share(sender, share);
+  replay_early_shares();
+
+  const std::size_t cluster_m = cluster_.size();
+  const auto jitter =
+      sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
+  node.schedule(jitter, [this, &node] { send_shares(node); });
+  const auto announce_at = sim::seconds(
+      config_.assemble_at_s(cluster_m) + node.rng().uniform(0.0, config_.f_jitter_s));
+  node.schedule(announce_at, [this, &node] { announce_f(node); });
+  // If the head dies before a digest reaches us, stop waiting: a
+  // member with no endorsed cluster sum by this deadline has no value
+  // in flight and no head to witness for.
+  node.schedule(sim::seconds(config_.digest_deadline_s(cluster_m)),
+                [this, &node] { digest_deadline(node); });
+}
+
+void IcpdaApp::replay_early_shares() {
+  for (const auto& [sender, entry] : early_shares_) {
+    if (entry.first == phase2_round_ && cluster_.in_roster(sender)) {
+      cluster_.record_share(sender, entry.second);
+    }
   }
   early_shares_.clear();
+}
 
+void IcpdaApp::digest_deadline(net::Node& node) {
+  if (role_ != ClusterRole::kMember || monitor_.knows_cluster_sum()) return;
+  // No digest by the (recovery-extended) deadline: the head is dead or
+  // unreachable, and with Phase II unfinished our reading is provably
+  // in no cluster sum. Stand down instead of hanging as a half-armed
+  // witness; tree forwarding duties continue regardless of role.
+  node.metrics().add("icpda.digest_missed");
+  role_ = ClusterRole::kUnclustered;
+  if (outcome_) {
+    ++outcome_->unclustered;
+    if (outcome_->members > 0) --outcome_->members;
+  }
+}
+
+void IcpdaApp::handle_recovery_roster(net::Node& node, const ClusterRosterMsg& roster) {
+  if (role_ != ClusterRole::kMember || !cluster_.has_roster()) return;
+  if (roster.head != cluster_.head()) return;
+  if (phase2_round_ >= roster.round) return;  // duplicate repeat
+  if (monitor_.knows_cluster_sum()) return;   // round 0 finished for us
+
+  if (std::find(roster.members.begin(), roster.members.end(), node.id()) ==
+      roster.members.end()) {
+    // The head never saw our F: it presumes us dead and our value is
+    // out of this epoch's sum. Stand down as a witness.
+    node.metrics().add("icpda.recovery_excluded");
+    role_ = ClusterRole::kUnclustered;
+    if (outcome_) {
+      ++outcome_->unclustered;
+      if (outcome_->members > 0) --outcome_->members;
+    }
+    return;
+  }
+  ClusterContext fresh;
+  if (!fresh.set_roster(roster.head, roster.members, roster.seeds, node.id())) {
+    node.metrics().add("icpda.bad_roster");
+    return;
+  }
+  phase2_round_ = roster.round;
+  cluster_ = std::move(fresh);
+  f_sent_ = false;
+  my_f_contributors_.clear();
+  replay_early_shares();
+  node.metrics().add("icpda.recovery_roster");
+
+  // Rerun the exchange at the reduced degree on the recovery clock.
   const std::size_t cluster_m = cluster_.size();
   const auto jitter =
       sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
@@ -413,7 +513,7 @@ void IcpdaApp::send_shares(net::Node& node) {
       node.metrics().add("icpda.no_link_key");
       continue;
     }
-    ShareBody body{config_.query_id, shares[j]};
+    ShareBody body{config_.query_id, phase2_round_, shares[j]};
     ShareMsg msg;
     msg.query_id = config_.query_id;
     msg.sender = node.id();
@@ -445,10 +545,6 @@ void IcpdaApp::handle_share(net::Node& node, const net::Frame& frame) {
     }
     return;
   }
-  if (f_sent_) {
-    node.metrics().add("icpda.share_late");
-    return;
-  }
   const auto key = keys_->link_key(msg->sender, node.id());
   if (!key) return;
   const auto opened = crypto::open(*key, msg->sealed);
@@ -458,11 +554,27 @@ void IcpdaApp::handle_share(net::Node& node, const net::Frame& frame) {
   }
   const auto body = ShareBody::from_bytes(*opened);
   if (!body || body->query_id != config_.query_id) return;
-  if (!cluster_.has_roster()) {
-    // A peer's roster copy beat ours: hold the share until our roster
-    // arrives (it is authenticated by the pairwise key either way).
-    if (early_shares_.size() < 64) early_shares_[msg->sender] = body->share;
+  if (body->round < phase2_round_) {
+    // Round-0 stragglers after a recovery reset: their polynomial has
+    // the wrong degree for the current roster — mixing them would
+    // corrupt the algebra and fire false tamper alarms downstream.
+    node.metrics().add("icpda.share_stale_round");
+    return;
+  }
+  if (!cluster_.has_roster() || body->round > phase2_round_) {
+    // A peer's roster copy (normal or recovery) beat ours: hold the
+    // share until the matching roster arrives (it is authenticated by
+    // the pairwise key either way).
+    if (early_shares_.size() < 64) {
+      early_shares_[msg->sender] = {body->round, body->share};
+    }
     node.metrics().add("icpda.share_stashed");
+    return;
+  }
+  if (f_sent_) {
+    // Our F for this round is already out; a share landing now cannot
+    // be folded in (everyone's contributor lists would diverge).
+    node.metrics().add("icpda.share_late");
     return;
   }
   if (!cluster_.in_roster(msg->sender)) {
@@ -482,6 +594,7 @@ void IcpdaApp::announce_f(net::Node& node) {
   msg.query_id = config_.query_id;
   msg.member = node.id();
   msg.head = cluster_.head();
+  msg.round = phase2_round_;
   msg.f = my_f_;
   msg.contributors = my_f_contributors_;
 
@@ -498,15 +611,30 @@ void IcpdaApp::handle_f_announce(net::Node& node, const net::Frame& frame) {
   if (role_ != ClusterRole::kHead) return;
   const auto msg = FAnnounceMsg::from_bytes(frame.payload);
   if (!msg || msg->query_id != config_.query_id || msg->head != node.id()) return;
+  if (msg->round != phase2_round_) {
+    // Round-0 F arriving after a recovery reset (or a probe re-send
+    // racing ahead): different-degree polynomials, not comparable.
+    node.metrics().add("icpda.f_stale_round");
+    return;
+  }
+  if (!cluster_.in_roster(msg->member)) return;
   cluster_.record_announce(msg->member, msg->f, msg->contributors);
   node.metrics().add("icpda.f_received");
 }
 
 void IcpdaApp::solve_and_digest(net::Node& node) {
-  if (role_ != ClusterRole::kHead || clear_report_) return;
+  if (role_ != ClusterRole::kHead || clear_report_ || cluster_value_) return;
   if (!cluster_.complete() || !cluster_.consistent()) {
     node.metrics().add(cluster_.complete() ? "icpda.cluster_inconsistent"
                                            : "icpda.cluster_incomplete");
+    if (config_.phase2_recovery && !recovery_started_) {
+      // A member crashed (or its frames all died) mid-exchange. The
+      // degree-(m-1) interpolation cannot run with a missing F, so
+      // re-fix the roster to the members that proved alive and rerun
+      // the share exchange once at the reduced degree.
+      start_phase2_recovery(node);
+      return;
+    }
     if (outcome_) ++outcome_->clusters_failed;
     return;
   }
@@ -536,6 +664,80 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
       node.broadcast(proto::kClusterDigest, std::move(payload));
     });
   }
+  if (recovery_started_) node.metrics().add("icpda.cluster_recovered");
+}
+
+void IcpdaApp::start_phase2_recovery(net::Node& node) {
+  recovery_started_ = true;
+  node.metrics().add("icpda.phase2_recovery");
+
+  // Survivors: members whose F arrived (proof of life past the
+  // assemble deadline), keeping roster order and their original seeds
+  // (a subset of distinct non-zero seeds is still distinct non-zero).
+  // The head's own F is always recorded, so it is always survivors[0].
+  ClusterRosterMsg roster;
+  roster.query_id = config_.query_id;
+  roster.head = node.id();
+  roster.round = 1;
+  const auto& all = cluster_.members();
+  const auto& all_seeds = cluster_.seed_ints();
+  for (std::size_t j = 0; j < all.size(); ++j) {
+    if (cluster_.announced(all[j])) {
+      roster.members.push_back(all[j]);
+      roster.seeds.push_back(all_seeds[j]);
+    }
+  }
+  const std::size_t m = roster.members.size();
+  const std::size_t orig_m = all.size();
+
+  if (m <= 1) {
+    // Nobody else proved alive: collapse to the lone-head policy so at
+    // least our own reading survives the epoch.
+    switch (config_.small_cluster_policy) {
+      case SmallClusterPolicy::kClearReport:
+        clear_report_ = true;
+        cluster_value_ = Aggregate::of(readings_(node.id()));
+        if (outcome_) ++outcome_->degraded_privacy;
+        node.metrics().add("icpda.recovery_lone_clear");
+        break;
+      case SmallClusterPolicy::kDrop:
+        if (outcome_) ++outcome_->clusters_failed;
+        node.metrics().add("icpda.recovery_lone_dropped");
+        break;
+    }
+    return;
+  }
+
+  if (m < config_.min_cluster_size && orig_m >= config_.min_cluster_size &&
+      outcome_) {
+    // The crash shrank a healthy cluster below the privacy floor.
+    outcome_->degraded_privacy += static_cast<std::uint32_t>(m);
+    node.metrics().add("icpda.recovery_small_cluster");
+  }
+
+  for (std::uint32_t rep = 0; rep < std::max<std::uint32_t>(1, config_.roster_repeats);
+       ++rep) {
+    const auto at = sim::seconds(static_cast<double>(rep) * 0.04 +
+                                 node.rng().uniform(0.0, 0.02));
+    node.schedule(at, [&node, payload = roster.to_bytes()]() mutable {
+      node.broadcast(proto::kClusterRoster, std::move(payload));
+    });
+  }
+
+  phase2_round_ = 1;
+  ClusterContext fresh;
+  fresh.set_roster(node.id(), roster.members, roster.seeds, node.id());
+  cluster_ = std::move(fresh);
+  f_sent_ = false;
+  my_f_contributors_.clear();
+
+  const auto jitter =
+      sim::seconds(node.rng().uniform(0.0, config_.share_window_s(m)));
+  node.schedule(jitter, [this, &node] { send_shares(node); });
+  node.schedule(sim::seconds(config_.assemble_at_s(m)),
+                [this, &node] { announce_f(node); });
+  node.schedule(sim::seconds(config_.solve_at_s(m)),
+                [this, &node] { solve_and_digest(node); });
 }
 
 void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
@@ -574,6 +776,58 @@ void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
   cluster_value_ = *v;
   monitor_.set_cluster_sum(*v);
   node.metrics().add("icpda.witness_armed");
+
+  // Head failover: the first member after the head in roster order is
+  // the designated backup reporter for the endorsed cluster sum.
+  if (config_.backup_reporter && f_sent_ && cluster_.size() >= 2 &&
+      cluster_.members()[1] == node.id()) {
+    arm_backup_reporter(node);
+  }
+}
+
+void IcpdaApp::arm_backup_reporter(net::Node& node) {
+  // The backup probes the head with a unicast shortly before the last
+  // report slot; the MAC ACK doubles as a liveness check. Only a head
+  // that neither ACKs the probe nor is overheard reporting triggers
+  // the takeover — under the head's reporter id, so the BS dedupes if
+  // the head did report and we merely missed it.
+  const sim::SimTime last_slot = join_time_ +
+                                 sim::seconds(config_.phase2_budget_s) +
+                                 config_.timing.report_delay(0);
+  const auto probe_at = last_slot - sim::seconds(config_.backup_probe_lead_s);
+  const auto report_at = last_slot + sim::seconds(config_.backup_slot_slack_s +
+                                                  node.rng().uniform(0.0, 0.05));
+  const auto now = node.now();
+  node.schedule(probe_at > now ? probe_at - now : sim::SimTime{}, [this, &node] {
+    if (head_report_seen_ || role_ != ClusterRole::kMember || !f_sent_) return;
+    probe_sent_ = true;
+    FAnnounceMsg msg;
+    msg.query_id = config_.query_id;
+    msg.member = node.id();
+    msg.head = cluster_.head();
+    msg.round = phase2_round_;
+    msg.f = my_f_;
+    msg.contributors = my_f_contributors_;
+    node.send(cluster_.head(), proto::kFAnnounce, msg.to_bytes());
+    node.metrics().add("icpda.backup_probe");
+  });
+  node.schedule(report_at > now ? report_at - now : sim::SimTime{},
+                [this, &node] { backup_report(node); });
+}
+
+void IcpdaApp::backup_report(net::Node& node) {
+  if (role_ != ClusterRole::kMember || head_report_seen_ || !cluster_value_) return;
+  // Without positive evidence of death (an un-ACKed probe), stay
+  // quiet: a duplicate under the head's id is only safe when the BS
+  // can dedupe it, and an absorbed aggregate hides the head's id.
+  if (!probe_sent_ || !probe_failed_) return;
+  ReportMsg report;
+  report.query_id = config_.query_id;
+  report.reporter = cluster_.head();
+  report.aggregate = *cluster_value_;
+  report.items.push_back(proto::ReportItem{cluster_.head(), *cluster_value_});
+  node.metrics().add("icpda.backup_report");
+  if (joined_) dispatch_up(node, report, report.to_bytes());
 }
 
 // ---------------------------------------------------------------------
@@ -752,7 +1006,14 @@ void IcpdaApp::expect_forward(net::Node& node, net::NodeId reporter,
       return;
     }
     // The MAC confirmed both deliveries and the parent still never
-    // forwarded or claimed the data: that is willful dropping.
+    // forwarded or claimed the data. A parent that has also been
+    // completely silent since more likely died holding it than dropped
+    // it on purpose: fail over to a backup parent instead of accusing
+    // a corpse (the advisory alarm stays for the active case).
+    if (parent_reports_overheard_ == 0 && reroute_to_backup(node)) {
+      redispatch(node, exp.payload);
+      return;
+    }
     node.metrics().add("icpda.watchdog_alarm");
     node.metrics().add(parent_reports_overheard_ > 0
                            ? "icpda.watchdog_alarm_parent_active"
@@ -766,8 +1027,43 @@ void IcpdaApp::expect_forward(net::Node& node, net::NodeId reporter,
 }
 
 void IcpdaApp::on_send_failed(net::Node& node, const net::Frame& frame) {
+  if (frame.type == proto::kJoin) {
+    // The MAC exhausted its retries without one ACK from the chosen
+    // head: the head is dead or out of range. Fail over immediately
+    // instead of sitting out the roster timeout (the timeout's attempt
+    // guard keeps the stale timer from firing on the next join).
+    const auto join = JoinMsg::from_bytes(frame.payload);
+    if (join && join->head == chosen_head_ &&
+        role_ == ClusterRole::kMember && !cluster_.has_roster()) {
+      node.metrics().add("icpda.join_unreachable");
+      retry_or_give_up(node);
+    }
+    return;
+  }
+  if (frame.type == proto::kFAnnounce) {
+    if (probe_sent_ && frame.dst == cluster_.head()) {
+      probe_failed_ = true;  // the head never ACKed: presumed dead
+      node.metrics().add("icpda.backup_probe_failed");
+    }
+    return;
+  }
   if (frame.type != proto::kClusterReport) return;
   node.metrics().add("icpda.report_send_failed");
+  if (frame.dst != parent_) {
+    // Stale destination: this frame was purged from (or drained its
+    // ladder against) a parent we have already failed over from. The
+    // verdict on that parent is in — just resend through the current
+    // one, and retire the expectation armed for the old send.
+    for (auto& exp : watchdog_) {
+      if (exp.payload == frame.payload && !exp.failure_handled) {
+        exp.failure_handled = true;
+        exp.satisfied = true;
+        break;
+      }
+    }
+    redispatch(node, frame.payload);
+    return;
+  }
   for (auto& exp : watchdog_) {
     // Find the live expectation for this payload. Our own unicast
     // never reached the parent, so no alarm is warranted — cancel it
@@ -777,9 +1073,21 @@ void IcpdaApp::on_send_failed(net::Node& node, const net::Frame& frame) {
     exp.failure_handled = true;
     exp.satisfied = true;
     const std::uint32_t attempt = exp.send_attempts + 1;
-    if (attempt > 2) {
-      node.metrics().add("icpda.report_lost");
-      return;
+    // A full retry ladder with zero ACKs from a parent we have never
+    // overheard transmit a report is a death verdict — reroute now,
+    // while the close deadline can still be met, instead of burning
+    // another ladder into a black hole. An active parent gets the
+    // benefit of the doubt (congestion) and one same-parent retry.
+    if (attempt > 2 || parent_reports_overheard_ == 0) {
+      if (reroute_to_backup(node)) {
+        redispatch(node, exp.payload);
+        return;
+      }
+      if (attempt > 2) {
+        node.metrics().add("icpda.report_lost");
+        return;
+      }
+      // No backup available: give the same parent its retry after all.
     }
     node.schedule(
         sim::seconds(0.1 + node.rng().uniform(0.0, 0.1)),
@@ -790,6 +1098,54 @@ void IcpdaApp::on_send_failed(net::Node& node, const net::Frame& frame) {
         });
     return;
   }
+}
+
+bool IcpdaApp::reroute_to_backup(net::Node& node) {
+  if (!config_.reroute_enabled || reroutes_used_ >= config_.reroute_attempts) {
+    return false;
+  }
+  failed_parents_.insert(parent_);
+  // Best surviving candidate: smallest advertised hop (every candidate
+  // was strictly shallower than us at flood time, so parent chains
+  // keep descending toward the BS and cannot loop).
+  net::NodeId best = net::kNoNode;
+  std::uint16_t best_hop = std::numeric_limits<std::uint16_t>::max();
+  for (const auto& [cand, cand_hop] : backup_parents_) {
+    if (failed_parents_.contains(cand)) continue;
+    if (cand_hop < best_hop) {
+      best = cand;
+      best_hop = cand_hop;
+    }
+  }
+  if (best == net::kNoNode) {
+    node.metrics().add("icpda.reroute_exhausted");
+    return false;
+  }
+  ++reroutes_used_;
+  const net::NodeId dead = parent_;
+  parent_ = best;
+  parent_reports_overheard_ = 0;  // fresh ledger for the new parent
+  // Everything still queued for the dead parent would serialise a full
+  // retry ladder per frame (head-of-line blocking live traffic for
+  // seconds); fail it all now — the failures re-enter on_send_failed
+  // with a stale dst and get redispatched through the new parent.
+  node.purge_sends_to(dead);
+  node.metrics().add("icpda.reroute");
+  if (outcome_) ++outcome_->reroutes;
+  ICPDA_LOG(kInfo) << "reroute: node=" << node.id() << " new_parent=" << best
+                   << " t=" << node.now().seconds();
+  return true;
+}
+
+void IcpdaApp::redispatch(net::Node& node, const net::Bytes& payload) {
+  const auto backoff = sim::seconds(
+      config_.reroute_backoff_s * (1.0 + node.rng().uniform(0.0, 1.0)));
+  node.schedule(backoff, [this, &node, payload] {
+    const auto report = ReportMsg::from_bytes(payload);
+    if (!report) return;
+    dispatch_up(node, *report, payload);
+    node.metrics().add("icpda.report_rerouted");
+  });
 }
 
 void IcpdaApp::check_watchdog(net::Node& node, const ReportMsg& report,
@@ -842,6 +1198,7 @@ void IcpdaApp::overhear_report(net::Node& node, const net::Frame& frame) {
     // Our head's own aggregated report: audit it. (Verbatim forwards
     // by the head keep the original reporter and are covered by the
     // originator's watchdog instead.)
+    head_report_seen_ = true;  // the backup reporter stands down
     const auto verdict = monitor_.audit(*report, node.now());
     switch (verdict.kind) {
       case WitnessMonitor::Verdict::Kind::kClean:
@@ -928,11 +1285,13 @@ void IcpdaApp::close_epoch(net::Node& node) {
 
 IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
                              const proto::ReadingProvider& readings,
-                             const crypto::KeyScheme& keys, const AttackPlan& attack) {
+                             const crypto::KeyScheme& keys, const AttackPlan& attack,
+                             const FaultPlan& faults) {
   IcpdaOutcome outcome;
   net.attach_apps([&](net::Node&) {
     return std::make_unique<IcpdaApp>(config, readings, &keys, &attack, &outcome);
   });
+  outcome.nodes_crashed = schedule_fault_plan(net, faults, net.rng().fork("faults"));
   // Bounded horizon: the epoch is over shortly after the BS closes;
   // whatever straggler events remain (late alarms, MAC drain) cannot
   // matter beyond a grace period, and a hard bound keeps any
@@ -941,6 +1300,18 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
                                     config.phase2_budget_s) +
                        config.timing.close_delay() + sim::seconds(3.0);
   net.run(horizon);
+  // Coverage is judged against the nodes still alive at epoch end: a
+  // crashed node's reading is gone by definition, but every survivor's
+  // reading should have made it into the accepted aggregate.
+  const std::size_t live = net.live_count();
+  const double live_sensors =
+      live > 0 ? static_cast<double>(live - 1) : 0.0;  // minus the BS
+  if (outcome.result && live_sensors > 0.0) {
+    const double reached = std::min(outcome.result->count, live_sensors);
+    outcome.coverage = reached / live_sensors;
+    outcome.values_lost =
+        static_cast<std::uint32_t>(std::lround(live_sensors - reached));
+  }
   return outcome;
 }
 

@@ -35,6 +35,7 @@
 
 #include "core/cluster.h"
 #include "core/config.h"
+#include "core/faults.h"
 #include "core/integrity.h"
 #include "crypto/keys.h"
 #include "net/network.h"
@@ -72,6 +73,16 @@ struct IcpdaOutcome {
   std::uint32_t pollution_events = 0;
   /// Cluster size -> number of clusters (at roster time).
   std::map<std::uint32_t, std::uint32_t> cluster_sizes;
+
+  // Fault tolerance (filled when a FaultPlan is active; zero otherwise).
+  /// Nodes the fault plan crashed this epoch (base station exempt).
+  std::uint32_t nodes_crashed = 0;
+  /// Phase III parent switches after a dead/silent parent.
+  std::uint32_t reroutes = 0;
+  /// Live sensors whose value never reached the base station.
+  std::uint32_t values_lost = 0;
+  /// result.count / live sensors at epoch end (1.0 when nothing runs).
+  double coverage = 0.0;
 };
 
 class IcpdaApp final : public net::App {
@@ -123,6 +134,13 @@ class IcpdaApp final : public net::App {
   void solve_and_digest(net::Node& node);
   void handle_digest(net::Node& node, const net::Frame& frame);
 
+  // Phase II crash recovery (head re-fixes the roster to survivors and
+  // reruns the exchange at reduced degree; see DESIGN.md fault model).
+  void start_phase2_recovery(net::Node& node);
+  void handle_recovery_roster(net::Node& node, const proto::ClusterRosterMsg& roster);
+  void replay_early_shares();
+  void digest_deadline(net::Node& node);
+
   // Phase III.
   void handle_report(net::Node& node, const net::Frame& frame);
   void send_report(net::Node& node);
@@ -140,6 +158,12 @@ class IcpdaApp final : public net::App {
                       std::uint32_t attempt);
   void check_watchdog(net::Node& node, const proto::ReportMsg& report,
                       const net::Bytes& payload);
+
+  // Phase III crash failover.
+  bool reroute_to_backup(net::Node& node);
+  void redispatch(net::Node& node, const net::Bytes& payload);
+  void arm_backup_reporter(net::Node& node);
+  void backup_report(net::Node& node);
 
   IcpdaConfig config_;
   proto::ReadingProvider readings_;
@@ -174,9 +198,13 @@ class IcpdaApp final : public net::App {
   proto::Aggregate my_f_;                     ///< the F this node sent
   std::vector<std::uint32_t> my_f_contributors_;
   bool f_sent_ = false;
-  /// Shares that arrived before our roster did (decrypted, by sender);
-  /// replayed into the context once the roster is installed.
-  std::map<net::NodeId, proto::Aggregate> early_shares_;
+  /// Shares that arrived before the matching roster (decrypted, keyed
+  /// by sender, tagged with their round); replayed into the context
+  /// once the roster for that round is installed.
+  std::map<net::NodeId, std::pair<std::uint8_t, proto::Aggregate>> early_shares_;
+  /// Current Phase II round (0 = normal, 1 = crash recovery).
+  std::uint8_t phase2_round_ = 0;
+  bool recovery_started_ = false;  ///< heads: one recovery per epoch
 
   // Phase III state.
   proto::Aggregate pending_;  ///< inputs aggregated so far (heads/BS)
@@ -199,12 +227,25 @@ class IcpdaApp final : public net::App {
   std::uint32_t parent_reports_overheard_ = 0;
   static constexpr std::uint32_t kMaxRehandsPerEpoch = 4;
   std::uint32_t rehands_used_ = 0;
+
+  // Fault-failover state.
+  /// Strictly-shallower neighbours heard during the flood (id -> hop):
+  /// the candidate pool for Phase III parent failover.
+  std::map<net::NodeId, std::uint16_t> backup_parents_;
+  std::set<net::NodeId> failed_parents_;
+  std::uint32_t reroutes_used_ = 0;
+  /// Backup-reporter bookkeeping (first member after the head).
+  bool head_report_seen_ = false;
+  bool probe_sent_ = false;
+  bool probe_failed_ = false;
 };
 
-/// Run one iCPDA epoch on `net`; `attack` may be empty (honest run).
+/// Run one iCPDA epoch on `net`; `attack` and `faults` may be empty
+/// (honest, fully-live run).
 IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
                              const proto::ReadingProvider& readings,
                              const crypto::KeyScheme& keys,
-                             const AttackPlan& attack = {});
+                             const AttackPlan& attack = {},
+                             const FaultPlan& faults = {});
 
 }  // namespace icpda::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "net/wire.h"
 #include "sim/log.h"
@@ -18,7 +19,48 @@ Mac::Mac(NodeId self, Channel& channel, sim::Scheduler& sched, sim::Rng rng,
       config_(config),
       cw_(config.cw_min) {}
 
+void Mac::power_off() {
+  down_ = true;
+  if (!queue_.empty()) metrics_.add("mac.flushed", queue_.size());
+  queue_.clear();
+  state_ = State::kIdle;
+  retries_ = 0;
+  cw_ = config_.cw_min;
+  if (ack_timer_armed_) {
+    sched_.cancel(ack_timer_);
+    ack_timer_armed_ = false;
+  }
+}
+
+void Mac::power_on() { down_ = false; }
+
+void Mac::fail_queued_to(NodeId dst) {
+  if (queue_.empty()) return;
+  // The front frame is in service whenever the MAC is not idle; its
+  // ladder is left to finish. Collect first, then notify: callbacks
+  // re-enter send() and must see a consistent queue.
+  std::vector<Frame> doomed;
+  const std::size_t first = state_ == State::kIdle ? 0 : 1;
+  for (std::size_t i = first; i < queue_.size();) {
+    if (queue_[i].dst == dst) {
+      doomed.push_back(std::move(queue_[i]));
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (doomed.empty()) return;
+  metrics_.add("mac.purged", doomed.size());
+  for (const Frame& f : doomed) {
+    if (cbs_.on_send_failed) cbs_.on_send_failed(f);
+  }
+}
+
 void Mac::send(Frame frame) {
+  if (down_) {
+    metrics_.add("mac.down_drop");
+    return;
+  }
   frame.src = self_;
   frame.seq = next_seq_++;
   if (queue_.size() >= config_.queue_limit) {
@@ -131,6 +173,7 @@ void Mac::send_ack(const Frame& data_frame) {
 }
 
 void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
+  if (down_) return;  // radio off: cannot decode, cannot ACK
   if (status != ReceptionStatus::kOk) return;
 
   if (frame.type == kMacAck) {

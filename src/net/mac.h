@@ -62,6 +62,28 @@ class Mac {
   /// Frames currently queued (diagnostics).
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
+  /// Fault injection: the node's radio died. Flushes every queued
+  /// frame (without on_send_failed — the application is dead too),
+  /// cancels the ACK timer and freezes the MAC; subsequent send()s are
+  /// discarded until power_on(). A frame already on the air completes
+  /// physically (receivers may still decode it) but is not retried.
+  void power_off();
+
+  /// Fault injection: the node rebooted. The MAC comes back idle with
+  /// an empty queue and fresh contention state.
+  void power_on();
+
+  /// Fail every *queued* unicast frame addressed to `dst` immediately
+  /// (on_send_failed per frame), without burning a retry ladder on
+  /// each. Upper layers call this once they learn a neighbour is dead:
+  /// a FIFO queue would otherwise serialise full ACK-retry ladders for
+  /// every doomed frame, head-of-line-blocking live traffic for
+  /// seconds. A frame already in service completes its ladder (its
+  /// failure is the evidence the caller acted on).
+  void fail_queued_to(NodeId dst);
+
+  [[nodiscard]] bool powered() const { return !down_; }
+
   /// Channel entry point: the Network routes every reception here.
   void handle_reception(const Frame& frame, ReceptionStatus status);
 
@@ -78,6 +100,7 @@ class Mac {
 
   std::deque<Frame> queue_;
   State state_ = State::kIdle;
+  bool down_ = false;
   std::uint32_t retries_ = 0;
   std::uint32_t cw_ = 0;
   std::uint32_t next_seq_ = 1;

@@ -38,8 +38,15 @@ void Network::wire() {
                                           rng_.fork("mac", id), metrics_, config_.mac));
     nodes_.push_back(std::make_unique<Node>(id, *this, rng_.fork("node", id)));
   }
-  // Delivery path: channel -> receiving MAC -> node -> app.
+  // Delivery path: channel -> receiving MAC -> node -> app. A dead
+  // receiver's radio is off: the frame dissipates unheard (the MAC's
+  // own down flag backstops this, but filtering here keeps the metric
+  // honest).
   channel_->set_delivery([this](NodeId receiver, const Frame& frame, ReceptionStatus st) {
+    if (!nodes_[receiver]->alive()) {
+      metrics_.add("channel.rx_dead");
+      return;
+    }
     macs_[receiver]->handle_reception(frame, st);
   });
   for (NodeId id = 0; id < topology_.size(); ++id) {
@@ -50,6 +57,29 @@ void Network::wire() {
     cbs.on_send_failed = [node](const Frame& f) { node->dispatch_send_failed(f); };
     macs_[id]->set_callbacks(std::move(cbs));
   }
+}
+
+void Network::set_node_down(NodeId id) {
+  if (id == base_station()) return;  // the sink never crashes
+  if (!nodes_.at(id)->alive()) return;
+  nodes_[id]->set_alive(false);
+  macs_[id]->power_off();
+  metrics_.add("net.node_down");
+}
+
+void Network::set_node_up(NodeId id) {
+  if (nodes_.at(id)->alive()) return;
+  nodes_[id]->set_alive(true);
+  macs_[id]->power_on();
+  metrics_.add("net.node_up");
+}
+
+std::size_t Network::live_count() const {
+  std::size_t live = 0;
+  for (const auto& n : nodes_) {
+    if (n->alive()) ++live;
+  }
+  return live;
 }
 
 void Network::start() {

@@ -57,6 +57,22 @@ class Network {
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] Mac& mac(NodeId id) { return *macs_.at(id); }
 
+  // ---- Liveness (fault injection) -----------------------------------
+  // A down node neither transmits, receives nor overhears: its MAC
+  // queue is flushed, its radio stops decoding (so unicasts to it
+  // exhaust the sender's retries) and its application timers are
+  // frozen. The base station (node 0) is exempt — it is the epoch
+  // driver, and the paper's fault model never crashes the sink.
+
+  /// Take a node down (crash or outage start). No-op for the BS.
+  void set_node_down(NodeId id);
+  /// Bring a node back up (outage end). Its protocol state survived
+  /// (apps are not re-created) but its MAC queue and timers are gone.
+  void set_node_up(NodeId id);
+  [[nodiscard]] bool node_alive(NodeId id) const { return nodes_.at(id)->alive(); }
+  /// Nodes currently up, including the base station.
+  [[nodiscard]] std::size_t live_count() const;
+
   /// Root RNG: fork substreams from here for experiment-level draws so
   /// they do not disturb protocol randomness.
   [[nodiscard]] sim::Rng& rng() { return rng_; }

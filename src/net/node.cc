@@ -7,12 +7,19 @@ namespace icpda::net {
 sim::SimTime Node::now() const { return network_.scheduler().now(); }
 
 sim::EventId Node::schedule(sim::SimTime delay, sim::EventFn fn) {
-  return network_.scheduler().after(delay, std::move(fn));
+  // Liveness gate at fire time, not at schedule time: a node that
+  // crashes loses its pending application timers (its program state is
+  // gone), and a node that was down when the timer was set may be back
+  // up when it fires.
+  return network_.scheduler().after(delay, [this, fn = std::move(fn)] {
+    if (alive_) fn();
+  });
 }
 
 void Node::cancel(sim::EventId id) { network_.scheduler().cancel(id); }
 
 void Node::send(NodeId dst, FrameType type, Bytes payload) {
+  if (!alive_) return;  // dead radio: nothing leaves the node
   Frame f;
   f.dst = dst;
   f.type = type;
@@ -22,6 +29,11 @@ void Node::send(NodeId dst, FrameType type, Bytes payload) {
 
 void Node::broadcast(FrameType type, Bytes payload) {
   send(kBroadcast, type, std::move(payload));
+}
+
+void Node::purge_sends_to(NodeId dst) {
+  if (!alive_) return;
+  network_.mac(id_).fail_queued_to(dst);
 }
 
 sim::MetricRegistry& Node::metrics() { return network_.metrics(); }

@@ -64,6 +64,14 @@ class Node {
   /// Node 0 is the base station by convention.
   [[nodiscard]] bool is_base_station() const { return id_ == 0; }
 
+  /// Liveness (fault injection). A dead node's radio is off and its
+  /// application is frozen: sends are discarded, receptions and
+  /// overhears are not dispatched, and timers scheduled through the
+  /// node fire only if the node is alive at fire time. Toggled by
+  /// Network::set_node_down / set_node_up, never directly.
+  [[nodiscard]] bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
   [[nodiscard]] Network& network() { return network_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
 
@@ -73,6 +81,9 @@ class Node {
   void cancel(sim::EventId id);
   void send(NodeId dst, FrameType type, Bytes payload);
   void broadcast(FrameType type, Bytes payload);
+  /// Fail (on_send_failed) all queued frames to a neighbour this node
+  /// has concluded is dead; see Mac::fail_queued_to.
+  void purge_sends_to(NodeId dst);
   [[nodiscard]] sim::MetricRegistry& metrics();
   [[nodiscard]] const Point& position() const;
 
@@ -81,19 +92,20 @@ class Node {
 
   // Network-internal dispatch.
   void dispatch_receive(const Frame& f) {
-    if (app_) app_->on_receive(*this, f);
+    if (app_ && alive_) app_->on_receive(*this, f);
   }
   void dispatch_overhear(const Frame& f) {
-    if (app_) app_->on_overhear(*this, f);
+    if (app_ && alive_) app_->on_overhear(*this, f);
   }
   void dispatch_send_failed(const Frame& f) {
-    if (app_) app_->on_send_failed(*this, f);
+    if (app_ && alive_) app_->on_send_failed(*this, f);
   }
 
  private:
   NodeId id_;
   Network& network_;
   sim::Rng rng_;
+  bool alive_ = true;
   std::unique_ptr<App> app_;
 };
 

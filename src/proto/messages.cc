@@ -142,6 +142,7 @@ net::Bytes ClusterRosterMsg::to_bytes() const {
   net::WireWriter w;
   w.u32(query_id);
   w.u32(head);
+  w.u8(round);
   w.u32_vec(members);
   w.u32_vec(seeds);
   return std::move(w).take();
@@ -152,6 +153,7 @@ std::optional<ClusterRosterMsg> ClusterRosterMsg::from_bytes(const net::Bytes& b
     ClusterRosterMsg m;
     m.query_id = r.u32();
     m.head = r.u32();
+    m.round = r.u8();
     m.members = r.u32_vec();
     m.seeds = r.u32_vec();
     return m;
@@ -187,6 +189,7 @@ net::Bytes FAnnounceMsg::to_bytes() const {
   w.u32(query_id);
   w.u32(member);
   w.u32(head);
+  w.u8(round);
   f.write(w);
   w.u32_vec(contributors);
   return std::move(w).take();
@@ -198,6 +201,7 @@ std::optional<FAnnounceMsg> FAnnounceMsg::from_bytes(const net::Bytes& b) {
     m.query_id = r.u32();
     m.member = r.u32();
     m.head = r.u32();
+    m.round = r.u8();
     m.f = Aggregate::read(r);
     m.contributors = r.u32_vec();
     return m;

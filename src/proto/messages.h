@@ -122,6 +122,11 @@ struct JoinMsg {
 struct ClusterRosterMsg {
   std::uint32_t query_id = 0;
   net::NodeId head = net::kNoNode;
+  /// Phase II round this roster opens. 0 is the normal epoch roster;
+  /// round 1 is a *recovery* roster — the head re-fixes the cluster to
+  /// the members that proved alive so the share algebra can rerun at
+  /// reduced degree after a mid-exchange crash.
+  std::uint8_t round = 0;
   std::vector<std::uint32_t> members;  ///< includes the head itself
   std::vector<std::uint32_t> seeds;    ///< same order as members
 
@@ -150,6 +155,9 @@ struct FAnnounceMsg {
   std::uint32_t query_id = 0;
   net::NodeId member = net::kNoNode;
   net::NodeId head = net::kNoNode;
+  /// Phase II round this F belongs to (see ClusterRosterMsg::round);
+  /// the head discards announcements from a stale round.
+  std::uint8_t round = 0;
   /// F_j triple: assembled (count, sum, sum_sq) shares.
   Aggregate f;
   /// Member ids whose shares are included in f (sorted). All cluster

@@ -1,0 +1,44 @@
+// Loss-only false-positive guard: with lossy radios but no attackers
+// and no faults, the base station must never reject an epoch. Losses
+// surface as drop suspicions (advisory) or missing claims, never as
+// value-tamper alarms above Th — the acceptance threshold exists
+// precisely so that loss is not mistaken for pollution.
+#include <gtest/gtest.h>
+
+#include "core/icpda.h"
+#include "crypto/keyring.h"
+#include "net/network.h"
+
+namespace icpda::core {
+namespace {
+
+crypto::MasterPairwiseScheme master_keys() {
+  return crypto::MasterPairwiseScheme{crypto::Key::from_seed(0x7357)};
+}
+
+TEST(LossGuardTest, LossyHonestEpochsAreAlwaysAccepted) {
+  const auto keys = master_keys();
+  // 20 seeded epochs, loss swept up to the 0.1 the radio model is
+  // specified for. Every one must come back accepted.
+  for (int t = 0; t < 20; ++t) {
+    const double loss = (t % 2 == 0) ? 0.05 : 0.10;
+    net::NetworkConfig ncfg;
+    ncfg.node_count = 300;
+    ncfg.seed = 4000 + static_cast<std::uint64_t>(t);
+    ncfg.channel.loss_probability = loss;
+    net::Network network(ncfg);
+    IcpdaConfig cfg;
+    const auto out =
+        run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+    EXPECT_TRUE(out.accepted())
+        << "epoch " << t << " (loss " << loss << ") falsely rejected with "
+        << out.significant_alarms << " significant alarms";
+    ASSERT_TRUE(out.result.has_value()) << "epoch " << t;
+    // Loss degrades coverage but the epoch still aggregates a
+    // substantial fraction of the field.
+    EXPECT_GT(out.result->count, 150.0) << "epoch " << t;
+  }
+}
+
+}  // namespace
+}  // namespace icpda::core

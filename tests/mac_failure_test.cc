@@ -1,0 +1,141 @@
+// MAC failure paths: every frame the MAC gives up on — ACK-retry
+// exhaustion or queue tail-drop — invokes on_send_failed exactly once,
+// and powering a radio off flushes its queue silently (a dead node has
+// no app to notify). The iCPDA failover logic keys on these callbacks,
+// so their exactly-once contract is load-bearing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/mac.h"
+#include "net/network.h"
+#include "net/node.h"
+
+namespace icpda::net {
+namespace {
+
+/// Three nodes in a line: 0 -- 1 -- 2; 0 and 2 are out of range.
+Topology line_topology() { return Topology{{{0, 0}, {40, 0}, {80, 0}}, 50.0}; }
+
+class RecorderApp final : public App {
+ public:
+  void on_receive(Node&, const Frame& f) override { seen.push_back(f); }
+  void on_send_failed(Node&, const Frame& f) override { failed.push_back(f); }
+  std::vector<Frame> seen;
+  std::vector<Frame> failed;
+};
+
+struct Rig {
+  explicit Rig(Topology topo, NetworkConfig cfg = {})
+      : network(std::move(topo), cfg) {
+    network.attach_apps([this](Node&) {
+      auto app = std::make_unique<RecorderApp>();
+      apps.push_back(app.get());
+      return app;
+    });
+  }
+  Network network;
+  std::vector<RecorderApp*> apps;
+};
+
+/// How many failure callbacks carried this one-byte payload tag.
+std::size_t failures_tagged(const RecorderApp& app, std::uint8_t tag) {
+  return static_cast<std::size_t>(
+      std::count_if(app.failed.begin(), app.failed.end(),
+                    [&](const Frame& f) { return f.payload == Bytes{tag}; }));
+}
+
+TEST(MacFailureTest, AckExhaustionFailsEachFrameExactlyOnce) {
+  Rig rig(line_topology());
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    for (std::uint8_t tag = 1; tag <= 3; ++tag) {
+      rig.network.node(0).send(2, 42, {tag});  // 0 cannot reach 2
+    }
+  });
+  rig.network.run();
+  ASSERT_EQ(rig.apps[0]->failed.size(), 3u);
+  for (std::uint8_t tag = 1; tag <= 3; ++tag) {
+    EXPECT_EQ(failures_tagged(*rig.apps[0], tag), 1u) << "frame " << int(tag);
+  }
+  EXPECT_EQ(rig.network.metrics().counter("mac.tx_failed"), 3u);
+  // Each frame burns the full retry ladder before its single failure.
+  EXPECT_EQ(rig.network.metrics().counter("mac.tx_attempts"),
+            3u * (rig.network.config().mac.max_retries + 1));
+}
+
+TEST(MacFailureTest, QueueTailDropFailsEachFrameExactlyOnce) {
+  NetworkConfig cfg;
+  cfg.mac.queue_limit = 2;
+  Rig rig(line_topology(), cfg);
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    // Five back-to-back sends against a queue of two: frames 0 and 1
+    // are accepted, frames 2..4 are tail-dropped on arrival.
+    for (std::uint8_t tag = 0; tag < 5; ++tag) {
+      rig.network.node(0).send(1, 42, {tag});
+    }
+  });
+  rig.network.run();
+  EXPECT_EQ(rig.network.metrics().counter("mac.queue_drop"), 3u);
+  ASSERT_EQ(rig.apps[0]->failed.size(), 3u);
+  for (std::uint8_t tag = 2; tag < 5; ++tag) {
+    EXPECT_EQ(failures_tagged(*rig.apps[0], tag), 1u) << "frame " << int(tag);
+  }
+  // The accepted frames deliver normally — no second callback for them.
+  ASSERT_EQ(rig.apps[1]->seen.size(), 2u);
+  EXPECT_EQ(failures_tagged(*rig.apps[0], 0), 0u);
+  EXPECT_EQ(failures_tagged(*rig.apps[0], 1), 0u);
+}
+
+TEST(MacFailureTest, PowerOffFlushesQueueWithoutCallbacks) {
+  Rig rig(line_topology());
+  rig.network.scheduler().after(sim::seconds(0.001), [&] {
+    for (std::uint8_t tag = 0; tag < 3; ++tag) {
+      rig.network.node(0).send(1, 42, {tag});
+    }
+    // Still in the initial backoff: nothing has hit the air yet.
+    rig.network.mac(0).power_off();
+  });
+  // A send attempted while the radio is down is dropped, also silently.
+  rig.network.scheduler().after(sim::seconds(0.01), [&] {
+    rig.network.node(0).send(1, 42, {9});
+  });
+  rig.network.run();
+  EXPECT_EQ(rig.network.metrics().counter("mac.flushed"), 3u);
+  EXPECT_EQ(rig.network.metrics().counter("mac.down_drop"), 1u);
+  EXPECT_TRUE(rig.apps[0]->failed.empty());  // flush != failure
+  EXPECT_TRUE(rig.apps[1]->seen.empty());
+}
+
+TEST(MacFailureTest, DownNodeNeitherReceivesNorAcksUntilPoweredOn) {
+  Rig rig(line_topology());
+  auto& net = rig.network;
+  std::size_t live_during_outage = 0;
+  net.scheduler().after(sim::seconds(0.001), [&] { net.set_node_down(1); });
+  net.scheduler().after(sim::seconds(0.002), [&] {
+    live_during_outage = net.live_count();
+    net.node(0).send(1, 42, {1});  // into a dead radio: retries exhaust
+  });
+  net.scheduler().after(sim::seconds(3.0), [&] { net.set_node_up(1); });
+  net.scheduler().after(sim::seconds(3.1), [&] { net.node(0).send(1, 42, {2}); });
+  net.run();
+
+  EXPECT_EQ(live_during_outage, 2u);
+  EXPECT_TRUE(net.node_alive(1));
+  ASSERT_EQ(rig.apps[0]->failed.size(), 1u);
+  EXPECT_EQ(rig.apps[0]->failed[0].payload, Bytes{1});
+  EXPECT_GT(net.metrics().counter("channel.rx_dead"), 0u);
+  // After power-on the same link works again.
+  ASSERT_EQ(rig.apps[1]->seen.size(), 1u);
+  EXPECT_EQ(rig.apps[1]->seen[0].payload, Bytes{2});
+}
+
+TEST(MacFailureTest, BaseStationIsExemptFromFaults) {
+  Rig rig(line_topology());
+  rig.network.set_node_down(0);  // node 0 is the base station
+  EXPECT_TRUE(rig.network.node_alive(0));
+  EXPECT_EQ(rig.network.live_count(), 3u);
+}
+
+}  // namespace
+}  // namespace icpda::net

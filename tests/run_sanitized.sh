@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Build the asan preset and run the fault-path test binaries under
+# AddressSanitizer + UBSan. The fault-injection code paths (crash
+# mid-epoch, MAC queue purges, recovery rounds) exercise object
+# lifetimes the happy path never touches; this is the cheap way to keep
+# them honest. Usage: tests/run_sanitized.sh [extra ctest -R regex]
+set -eu
+
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo_root"
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc 2>/dev/null || echo 4)"
+
+filter="${1:-FaultInjectionTest|MacFailureTest|LossGuardTest}"
+ctest --test-dir build-asan --output-on-failure -R "$filter"
