@@ -1,48 +1,55 @@
 // F3 — COUNT-aggregation accuracy vs network size: collected count /
 // true count, TAG vs iCPDA (the paper's accuracy figure: iCPDA tracks
 // TAG closely once the network is dense enough for clustering).
-#include <cstdio>
-
+//
+// TAG and iCPDA run on the same deployment seed per cell (paired).
 #include "baselines/tag.h"
 #include "bench/bench_util.h"
 #include "core/icpda.h"
+#include "runner/campaign.h"
 #include "sim/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace icpda;
-  bench::print_header(
-      "F3: COUNT accuracy vs network size",
-      "N\ttag_accuracy\tsem\ticpda_accuracy\tsem\ticpda_covered\ticpda_failed_clusters");
   const auto keys = bench::default_keys();
-  std::size_t row = 0;
-  for (const std::size_t n : bench::paper_sizes()) {
-    sim::RunningStats tag_acc;
-    sim::RunningStats icpda_acc;
-    sim::RunningStats covered;
-    sim::RunningStats failed;
-    for (int t = 0; t < bench::trials(); ++t) {
-      const auto seed = bench::run_seed(5, row, static_cast<std::uint64_t>(t));
-      const double truth = static_cast<double>(n - 1);  // BS holds no reading
-      {
-        net::Network network(bench::paper_network(n, seed));
-        baselines::TagConfig cfg;
-        const auto out = baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
-        if (out.result) tag_acc.add(out.result->count / truth);
-      }
-      {
-        net::Network network(bench::paper_network(n, seed));
-        core::IcpdaConfig cfg;
-        const auto out =
-            core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
-        if (out.result) icpda_acc.add(out.result->count / truth);
-        covered.add(static_cast<double>(out.heads + out.members) / truth);
-        failed.add(out.clusters_failed);
-      }
+
+  runner::Campaign c;
+  c.name = "F3: COUNT accuracy vs network size";
+  c.label = "bench_accuracy";
+  c.experiment = static_cast<std::uint64_t>(bench::Experiment::kAccuracy);
+  c.sweep.axis("n", {200, 300, 400, 500, 600});
+  c.trials = bench::trials();
+
+  c.cell = [&keys](runner::CellContext& ctx) {
+    const std::size_t n = ctx.point.count("n");
+    const double truth = static_cast<double>(n - 1);  // BS holds no reading
+    {
+      net::Network network(bench::paper_network(n, ctx.seed));
+      baselines::TagConfig cfg;
+      const auto out = baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
+      if (out.result) ctx.metrics.observe("tag_acc", out.result->count / truth);
     }
-    std::printf("%zu\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\n", n, tag_acc.mean(),
-                tag_acc.sem(), icpda_acc.mean(), icpda_acc.sem(), covered.mean(),
-                failed.mean());
-    ++row;
-  }
-  return 0;
+    {
+      net::Network network(bench::paper_network(n, ctx.seed));
+      core::IcpdaConfig cfg;
+      const auto out = core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+      if (out.result) ctx.metrics.observe("icpda_acc", out.result->count / truth);
+      ctx.metrics.observe("covered", static_cast<double>(out.heads + out.members) / truth);
+      ctx.metrics.observe("failed", out.clusters_failed);
+    }
+  };
+
+  c.row = [](const runner::Point& p, const runner::PointSummary& s,
+             runner::JsonRow& row) {
+    const auto& m = s.metrics;
+    row.num("n", static_cast<std::uint64_t>(p.count("n")))
+        .num("tag_accuracy", m.stat("tag_acc").mean(), 3)
+        .num("tag_sem", m.stat("tag_acc").sem(), 3)
+        .num("icpda_accuracy", m.stat("icpda_acc").mean(), 3)
+        .num("icpda_sem", m.stat("icpda_acc").sem(), 3)
+        .num("icpda_covered", m.stat("covered").mean(), 3)
+        .num("icpda_failed_clusters", m.stat("failed").mean(), 1);
+  };
+
+  return runner::bench_main(c, argc, argv);
 }

@@ -25,7 +25,7 @@ int main() {
       sim::RunningStats cluster_mean;
       for (int t = 0; t < bench::trials(); ++t) {
         net::Network network(bench::paper_network(
-            n, bench::run_seed(14, row, static_cast<std::uint64_t>(t))));
+            n, bench::run_seed(bench::Experiment::kAdaptivePc, row, static_cast<std::uint64_t>(t))));
         core::IcpdaConfig cfg;
         cfg.adaptive_pc = adaptive;
         const auto out =

@@ -22,7 +22,7 @@ int main() {
       sim::RunningStats lone;
       for (int t = 0; t < bench::trials(); ++t) {
         net::Network network(bench::paper_network(
-            n, bench::run_seed(13, row, static_cast<std::uint64_t>(t))));
+            n, bench::run_seed(bench::Experiment::kClusterPolicy, row, static_cast<std::uint64_t>(t))));
         core::IcpdaConfig cfg;
         cfg.small_cluster_policy = policy;
         const auto out =

@@ -17,7 +17,7 @@ int main() {
   std::size_t row = 0;
   for (const std::size_t m : {3u, 4u, 5u, 6u}) {
     for (std::size_t k = 0; k < m; ++k) {
-      sim::Rng rng(bench::run_seed(7, row, 0));
+      sim::Rng rng(bench::run_seed(bench::Experiment::kCollusion, row, 0));
       const double sim_p = attacks::estimate_collusion_disclosure(m, k, trials, rng);
       std::printf("%zu\t%zu\t%.3f\t%.3f\n", m, k, sim_p,
                   analysis::cpda_collusion_disclosure(m, k));

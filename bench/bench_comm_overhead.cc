@@ -1,48 +1,63 @@
 // F2 — communication overhead (total on-air bytes, including MAC ACKs
 // and retransmissions) vs network size, for TAG / SMART / iCPDA —
 // the paper's bandwidth-consumption figure.
-#include <cstdio>
-
+//
+// Each cell runs all three protocols on the *same* deployment seed, so
+// the per-N comparison is paired.
 #include "baselines/smart.h"
 #include "baselines/tag.h"
 #include "bench/bench_util.h"
 #include "core/icpda.h"
+#include "runner/campaign.h"
 #include "sim/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace icpda;
-  bench::print_header("F2: total on-air bytes vs network size",
-                      "N\ttag_bytes\tsmart_bytes\ticpda_bytes\ticpda/tag");
   const auto keys = bench::default_keys();
-  std::size_t row = 0;
-  for (const std::size_t n : bench::paper_sizes()) {
-    sim::RunningStats tag_bytes;
-    sim::RunningStats smart_bytes;
-    sim::RunningStats icpda_bytes;
-    for (int t = 0; t < bench::trials(); ++t) {
-      const auto seed = bench::run_seed(4, row, static_cast<std::uint64_t>(t));
-      {
-        net::Network network(bench::paper_network(n, seed));
-        baselines::TagConfig cfg;
-        baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
-        tag_bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
-      }
-      {
-        net::Network network(bench::paper_network(n, seed));
-        baselines::SmartConfig cfg;
-        baselines::run_smart_epoch(network, cfg, proto::constant_reading(1.0), keys);
-        smart_bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
-      }
-      {
-        net::Network network(bench::paper_network(n, seed));
-        core::IcpdaConfig cfg;
-        core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
-        icpda_bytes.add(static_cast<double>(network.metrics().counter("channel.tx_bytes")));
-      }
+
+  runner::Campaign c;
+  c.name = "F2: total on-air bytes vs network size";
+  c.label = "bench_comm_overhead";
+  c.experiment = static_cast<std::uint64_t>(bench::Experiment::kCommOverhead);
+  c.sweep.axis("n", {200, 300, 400, 500, 600});
+  c.trials = bench::trials();
+
+  c.cell = [&keys](runner::CellContext& ctx) {
+    const std::size_t n = ctx.point.count("n");
+    {
+      net::Network network(bench::paper_network(n, ctx.seed));
+      baselines::TagConfig cfg;
+      baselines::run_tag_epoch(network, cfg, proto::constant_reading(1.0));
+      ctx.metrics.observe("tag_bytes", static_cast<double>(
+                                           network.metrics().counter("channel.tx_bytes")));
     }
-    std::printf("%zu\t%.0f\t%.0f\t%.0f\t%.2f\n", n, tag_bytes.mean(), smart_bytes.mean(),
-                icpda_bytes.mean(), icpda_bytes.mean() / tag_bytes.mean());
-    ++row;
-  }
-  return 0;
+    {
+      net::Network network(bench::paper_network(n, ctx.seed));
+      baselines::SmartConfig cfg;
+      baselines::run_smart_epoch(network, cfg, proto::constant_reading(1.0), keys);
+      ctx.metrics.observe("smart_bytes", static_cast<double>(
+                                             network.metrics().counter("channel.tx_bytes")));
+    }
+    {
+      net::Network network(bench::paper_network(n, ctx.seed));
+      core::IcpdaConfig cfg;
+      core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+      ctx.metrics.observe("icpda_bytes", static_cast<double>(
+                                             network.metrics().counter("channel.tx_bytes")));
+    }
+  };
+
+  c.row = [](const runner::Point& p, const runner::PointSummary& s,
+             runner::JsonRow& row) {
+    const double tag = s.metrics.stat("tag_bytes").mean();
+    const double smart = s.metrics.stat("smart_bytes").mean();
+    const double icpda_b = s.metrics.stat("icpda_bytes").mean();
+    row.num("n", static_cast<std::uint64_t>(p.count("n")))
+        .num("tag_bytes", tag, 0)
+        .num("smart_bytes", smart, 0)
+        .num("icpda_bytes", icpda_b, 0)
+        .num("icpda_over_tag", tag > 0 ? icpda_b / tag : 0.0, 2);
+  };
+
+  return runner::bench_main(c, argc, argv);
 }

@@ -18,7 +18,7 @@ int main() {
   for (const std::size_t n : bench::paper_sizes()) {
     sim::RunningStats deg;
     for (int t = 0; t < 4 * bench::trials(); ++t) {
-      sim::Rng rng(bench::run_seed(1, row, static_cast<std::uint64_t>(t)));
+      sim::Rng rng(bench::run_seed(bench::Experiment::kDeployment, row, static_cast<std::uint64_t>(t)));
       deg.add(net::make_random_topology(field, n, 50.0, rng, false).average_degree());
     }
     std::printf("%zu\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\n", n, deg.mean(), deg.sem(),

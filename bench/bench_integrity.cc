@@ -25,7 +25,7 @@ int main() {
     sim::RunningStats drops;
     for (int t = 0; t < trials; ++t) {
       net::Network network(bench::paper_network(
-          400, bench::run_seed(8, row, static_cast<std::uint64_t>(t))));
+          400, bench::run_seed(bench::Experiment::kIntegrityDetection, row, static_cast<std::uint64_t>(t))));
       core::IcpdaConfig cfg;
       core::AttackPlan attack;
       attack.polluters.insert(50 + static_cast<net::NodeId>(t * 13 % 300));
@@ -50,7 +50,7 @@ int main() {
     sim::RunningStats drops;
     for (int t = 0; t < trials; ++t) {
       net::Network network(bench::paper_network(
-          n, bench::run_seed(8, 100 + n, static_cast<std::uint64_t>(t))));
+          n, bench::run_seed(bench::Experiment::kIntegrityFalseAlarm, n, static_cast<std::uint64_t>(t))));
       core::IcpdaConfig cfg;
       const auto out =
           core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);

@@ -18,6 +18,9 @@ int main() {
       "scheme\tring_connect_prob\teffective_px\tP_disclose(m=3)\tepoch_accuracy");
   const std::vector<net::NodeId> captured{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
 
+  // Epoch seeds are deliberately shared across key schemes (same
+  // deployments, paired comparison); the kKeyschemeEpoch stream exists
+  // for exactly this use and nothing else.
   const auto run_epoch_accuracy = [&](const crypto::KeyScheme& keys,
                                       std::uint64_t seed) {
     net::Network network(bench::paper_network(300, seed));
@@ -28,12 +31,12 @@ int main() {
 
   {
     const auto keys = bench::default_keys();
-    net::Network probe(bench::paper_network(300, bench::run_seed(12, 0, 0)));
+    net::Network probe(bench::paper_network(300, bench::run_seed(bench::Experiment::kKeyschemeProbe, 0, 0)));
     attacks::Wiretap tap(keys, captured);
     const double px = tap.effective_px(probe.topology());
     sim::RunningStats acc;
     for (int t = 0; t < bench::trials(); ++t) {
-      acc.add(run_epoch_accuracy(keys, bench::run_seed(12, 1, static_cast<std::uint64_t>(t))));
+      acc.add(run_epoch_accuracy(keys, bench::run_seed(bench::Experiment::kKeyschemeEpoch, 0, static_cast<std::uint64_t>(t))));
     }
     std::printf("pairwise\t1.000\t%.4f\t%.6f\t%.3f\n", px,
                 analysis::cpda_disclosure_probability(3, px), acc.mean());
@@ -41,14 +44,14 @@ int main() {
 
   const std::size_t ring = 60;
   for (const std::size_t pool : {500u, 1000u, 2000u, 5000u, 10000u}) {
-    sim::Rng rng(bench::run_seed(12, pool, 0));
+    sim::Rng rng(bench::run_seed(bench::Experiment::kKeyschemeRing, pool, 0));
     const crypto::EgPredistribution keys(300, pool, ring, rng);
-    net::Network probe(bench::paper_network(300, bench::run_seed(12, 0, 0)));
+    net::Network probe(bench::paper_network(300, bench::run_seed(bench::Experiment::kKeyschemeProbe, 0, 0)));
     attacks::Wiretap tap(keys, captured);
     const double px = tap.effective_px(probe.topology());
     sim::RunningStats acc;
     for (int t = 0; t < bench::trials(); ++t) {
-      acc.add(run_epoch_accuracy(keys, bench::run_seed(12, 1, static_cast<std::uint64_t>(t))));
+      acc.add(run_epoch_accuracy(keys, bench::run_seed(bench::Experiment::kKeyschemeEpoch, 0, static_cast<std::uint64_t>(t))));
     }
     std::printf("EG(P=%zu,k=%zu)\t%.3f\t%.4f\t%.6f\t%.3f\n", pool, ring,
                 crypto::EgPredistribution::connect_probability(pool, ring), px,

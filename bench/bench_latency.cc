@@ -19,7 +19,7 @@ int main() {
     sim::RunningStats tag_lat;
     sim::RunningStats icpda_lat;
     for (int t = 0; t < bench::trials(); ++t) {
-      const auto seed = bench::run_seed(10, row, static_cast<std::uint64_t>(t));
+      const auto seed = bench::run_seed(bench::Experiment::kLatency, row, static_cast<std::uint64_t>(t));
       {
         net::Network network(bench::paper_network(n, seed));
         baselines::TagConfig cfg;

@@ -26,7 +26,7 @@ int main() {
       std::uint64_t epoch_counter = 0;
       const core::EpochRunner oracle = [&](const net::Bytes& mask) {
         net::Network network(bench::paper_network(
-            n, bench::run_seed(9, row, static_cast<std::uint64_t>(t) * 1000 +
+            n, bench::run_seed(bench::Experiment::kLocalization, row, static_cast<std::uint64_t>(t) * 1000 +
                                            epoch_counter++)));
         core::IcpdaConfig cfg;
         cfg.allowed_mask = mask;

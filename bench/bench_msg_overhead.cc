@@ -32,7 +32,7 @@ int main() {
   sim::RunningStats smart_msgs;
   sim::RunningStats icpda_msgs;
   for (int t = 0; t < bench::trials(); ++t) {
-    const auto seed = bench::run_seed(3, 0, static_cast<std::uint64_t>(t));
+    const auto seed = bench::run_seed(bench::Experiment::kMsgOverhead, 0, static_cast<std::uint64_t>(t));
     {
       net::Network network(bench::paper_network(400, seed));
       baselines::TagConfig cfg;

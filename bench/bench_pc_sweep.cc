@@ -24,7 +24,7 @@ int main() {
     sim::RunningStats unclustered;
     for (int t = 0; t < bench::trials(); ++t) {
       net::Network network(bench::paper_network(
-          400, bench::run_seed(11, row, static_cast<std::uint64_t>(t))));
+          400, bench::run_seed(bench::Experiment::kPcSweep, row, static_cast<std::uint64_t>(t))));
       core::IcpdaConfig cfg;
       cfg.pc = pc;
       const auto out =

@@ -18,8 +18,35 @@
 #include "crypto/keyring.h"
 #include "net/network.h"
 #include "proto/epoch.h"
+#include "sim/rng.h"
 
 namespace icpda::bench {
+
+/// Every experiment's RNG-stream namespace, in one place so no two
+/// binaries can reuse an id. Sub-experiments within a binary (F6a vs
+/// F6b, the A2 probe vs its epoch runs) get their own entries: seed
+/// streams must never overlap across sweeps that interpret the
+/// (point, trial) coordinates differently.
+enum class Experiment : std::uint64_t {
+  kDeployment = 1,          // T1
+  kClusterFormation = 2,    // T2
+  kMsgOverhead = 3,         // F1
+  kCommOverhead = 4,        // F2
+  kAccuracy = 5,            // F3
+  kPrivacy = 6,             // F4
+  kCollusion = 7,           // F5
+  kIntegrityDetection = 8,  // F6a
+  kIntegrityFalseAlarm = 9, // F6b
+  kLocalization = 10,       // F7
+  kLatency = 11,            // F8
+  kPcSweep = 12,            // A1
+  kKeyschemeProbe = 13,     // A2: shared topology probe
+  kKeyschemeEpoch = 14,     // A2: per-scheme epoch accuracy (paired across schemes)
+  kKeyschemeRing = 15,      // A2: EG ring draws (point = pool size)
+  kClusterPolicy = 16,      // A3
+  kAdaptivePc = 17,         // A4
+  kFault = 18,              // F9
+};
 
 /// Monte-Carlo trials per configuration point.
 inline int trials() {
@@ -48,10 +75,15 @@ inline crypto::MasterPairwiseScheme default_keys() {
 }
 
 /// Per-run seeds: deterministic but distinct per (experiment, point,
-/// trial) so adding trials never changes earlier rows.
-inline std::uint64_t run_seed(std::uint64_t experiment, std::uint64_t point,
+/// trial) so adding trials never changes earlier rows. SplitMix64-
+/// chained (sim::seed_mix) — the earlier small-multiplier linear form
+/// made (experiment, point, trial) tuples collide: 991·1009 + 84 =
+/// 1000003, so (e, 0, 0) equals (e−1, 991, 84), and any trial stride
+/// over 1009 (bench_localization used trial·1000 + epoch) bled into
+/// neighbouring points' streams.
+inline std::uint64_t run_seed(Experiment experiment, std::uint64_t point,
                               std::uint64_t trial) {
-  return experiment * 1000003 + point * 1009 + trial + 1;
+  return sim::seed_mix(static_cast<std::uint64_t>(experiment), point, trial);
 }
 
 inline void print_header(const char* title, const char* columns) {

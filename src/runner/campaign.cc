@@ -1,0 +1,145 @@
+#include "runner/campaign.h"
+
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "runner/progress.h"
+#include "runner/thread_pool.h"
+#include "sim/rng.h"
+
+namespace icpda::runner {
+
+namespace {
+
+void run_cell(const Campaign& campaign, const Point& point, int trial,
+              sim::MetricRegistry& metrics) {
+  CellContext ctx{point, trial,
+                  sim::seed_mix(campaign.experiment,
+                                static_cast<std::uint64_t>(point.index()),
+                                static_cast<std::uint64_t>(trial)),
+                  metrics};
+  campaign.cell(ctx);
+}
+
+}  // namespace
+
+int run_campaign(const Campaign& campaign, const RunnerOptions& options,
+                 JsonlSink& sink) {
+  if (!campaign.cell || !campaign.row) {
+    std::fprintf(stderr, "campaign '%s': missing cell or row function\n",
+                 campaign.name.c_str());
+    return 1;
+  }
+  const std::size_t grid = campaign.sweep.point_count();
+  std::vector<std::size_t> selected = options.points;
+  if (selected.empty()) {
+    selected.resize(grid);
+    for (std::size_t i = 0; i < grid; ++i) selected[i] = i;
+  } else if (selected.back() >= grid) {
+    std::fprintf(stderr, "campaign '%s': --points index %zu out of range (grid has %zu points)\n",
+                 campaign.name.c_str(), selected.back(), grid);
+    return 1;
+  }
+  const int trials = options.trials > 0 ? options.trials : campaign.trials;
+  if (trials <= 0) {
+    std::fprintf(stderr, "campaign '%s': trials must be positive\n", campaign.name.c_str());
+    return 1;
+  }
+
+  sink.comment(campaign.name);
+  sink.comment("trials per point: " + std::to_string(trials));
+
+  const std::size_t cells = selected.size() * static_cast<std::size_t>(trials);
+  Progress progress(campaign.label.empty() ? campaign.name : campaign.label, cells,
+                    options.progress);
+
+  // One registry slot per cell, indexed point-major so the reduction
+  // below can walk them in declaration order.
+  std::vector<sim::MetricRegistry> results(cells);
+
+  try {
+    if (options.threads <= 1) {
+      // Sequential path: no pool, same cell order and (crucially) the
+      // same trial-ordered reduction as the parallel path.
+      std::size_t slot = 0;
+      for (const std::size_t p : selected) {
+        const Point point = campaign.sweep.point(p);
+        PointSummary summary;
+        for (int t = 0; t < trials; ++t, ++slot) {
+          run_cell(campaign, point, t, results[slot]);
+          progress.tick();
+          summary.metrics.merge(results[slot]);
+          ++summary.trials;
+        }
+        JsonRow row;
+        campaign.row(point, summary, row);
+        sink.write(row);
+      }
+    } else {
+      ThreadPool pool(options.threads);
+      std::vector<std::future<void>> futures;
+      futures.reserve(cells);
+      std::size_t slot = 0;
+      for (const std::size_t p : selected) {
+        for (int t = 0; t < trials; ++t, ++slot) {
+          futures.push_back(pool.submit([&campaign, &progress, &results, p, t, slot] {
+            const Point point = campaign.sweep.point(p);
+            run_cell(campaign, point, t, results[slot]);
+            progress.tick();
+          }));
+        }
+      }
+      // Emit rows in point order as each point's trials complete;
+      // later cells keep executing on the pool meanwhile.
+      slot = 0;
+      for (const std::size_t p : selected) {
+        const Point point = campaign.sweep.point(p);
+        PointSummary summary;
+        for (int t = 0; t < trials; ++t, ++slot) {
+          futures[slot].get();
+          summary.metrics.merge(results[slot]);
+          ++summary.trials;
+        }
+        JsonRow row;
+        campaign.row(point, summary, row);
+        sink.write(row);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign '%s' failed: %s\n", campaign.name.c_str(), e.what());
+    return 1;
+  }
+
+  progress.finish(options.threads);
+  return 0;
+}
+
+int run_campaign(const Campaign& campaign, const RunnerOptions& options) {
+  try {
+    JsonlSink sink = options.out.empty() ? JsonlSink::to_stream(stdout)
+                                         : JsonlSink::to_file(options.out);
+    return run_campaign(campaign, options, sink);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign '%s' failed: %s\n", campaign.name.c_str(), e.what());
+    return 1;
+  }
+}
+
+int bench_main(const Campaign& campaign, int argc, char** argv) {
+  RunnerOptions options;
+  std::string error;
+  if (!parse_cli(argc, argv, options, error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    print_usage(argv[0]);
+    return 2;
+  }
+  if (options.help) {
+    print_usage(argv[0]);
+    return 0;
+  }
+  return run_campaign(campaign, options);
+}
+
+}  // namespace icpda::runner

@@ -1,0 +1,44 @@
+// Shared command-line layer for the bench binaries.
+//
+//   --threads=N   worker threads (0 = all hardware threads); default
+//                 from ICPDA_THREADS, else 1 so plain invocations stay
+//                 sequential and comparable. Row output is identical
+//                 at every thread count (see campaign.h).
+//   --trials=N    Monte-Carlo trials per grid point; default from the
+//                 campaign declaration (usually ICPDA_TRIALS-scaled).
+//   --points=SPEC run only the listed flat grid points, e.g.
+//                 "0,3,7" or "2-5" or "0,4-6" (order-normalized).
+//   --out=PATH    write rows to PATH instead of stdout.
+//   --no-progress suppress the stderr progress reporter.
+//   --help        print usage and exit 0.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icpda::runner {
+
+struct RunnerOptions {
+  unsigned threads = 1;
+  int trials = 0;                    // 0 = use the campaign's default
+  std::vector<std::size_t> points;   // empty = whole grid
+  std::string out;                   // empty = stdout
+  bool progress = true;
+  bool help = false;
+};
+
+/// Parse argv into `options`. Returns false and fills `error` on a
+/// malformed flag; `options.help` is set (and true returned) for
+/// --help. Unknown flags are errors — a typo'd axis restriction must
+/// not silently run the full grid.
+bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error);
+
+/// Usage text for --help / parse errors (writes to stderr).
+void print_usage(const char* argv0);
+
+/// Parse a "--points" spec ("0,3,7", "2-5", "0,4-6") into sorted,
+/// deduplicated indices; returns false on malformed input.
+bool parse_point_spec(const std::string& spec, std::vector<std::size_t>& out);
+
+}  // namespace icpda::runner

@@ -1,0 +1,68 @@
+#include "runner/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace icpda::runner {
+
+namespace {
+constexpr auto kTtyThrottle = std::chrono::milliseconds(200);
+}
+
+Progress::Progress(std::string label, std::size_t total_cells, bool enabled)
+    : label_(std::move(label)),
+      total_(total_cells),
+      enabled_(enabled && total_cells > 0),
+      tty_(isatty(fileno(stderr)) != 0),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+void Progress::print_status(std::size_t done, bool final_newline) {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta = rate > 0 ? static_cast<double>(total_ - done) / rate : 0.0;
+  std::fprintf(stderr, "%s[%s] %zu/%zu cells (%.0f%%), %.1f runs/s, ETA %.0fs%s",
+               tty_ ? "\r" : "", label_.c_str(), done, total_,
+               100.0 * static_cast<double>(done) / static_cast<double>(total_), rate,
+               eta, (!tty_ || final_newline) ? "\n" : "");
+  std::fflush(stderr);
+}
+
+void Progress::tick() {
+  const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled_) return;
+  if (tty_) {
+    // Throttle terminal rewrites; drop the update if another thread is
+    // already printing.
+    std::unique_lock lock(print_mutex_, std::try_to_lock);
+    if (!lock) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (done < total_ && now - last_print_ < kTtyThrottle) return;
+    last_print_ = now;
+    print_status(done, done == total_);
+  } else {
+    // Milestone lines: every ceil(total/10) cells, and the last one.
+    const std::size_t step = (total_ + 9) / 10;
+    std::size_t expected = next_milestone_.load(std::memory_order_relaxed);
+    if (done < expected && done != total_) return;
+    if (!next_milestone_.compare_exchange_strong(expected, done + step)) return;
+    const std::lock_guard lock(print_mutex_);
+    print_status(done, true);
+  }
+}
+
+void Progress::finish(unsigned threads) {
+  if (!enabled_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const std::size_t done = done_.load(std::memory_order_relaxed);
+  std::fprintf(stderr, "[%s] %zu cells in %.2f s (%.1f runs/s, %u thread%s)\n",
+               label_.c_str(), done, elapsed,
+               elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0, threads,
+               threads == 1 ? "" : "s");
+  std::fflush(stderr);
+}
+
+}  // namespace icpda::runner

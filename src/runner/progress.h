@@ -1,0 +1,46 @@
+// stderr progress/ETA reporting for campaign execution.
+//
+// Cells tick from worker threads; printing is throttled and serialized
+// so a busy pool costs two atomic ops per cell. Interactive terminals
+// get a live \r-rewritten status line; non-terminals (CI logs, pipes)
+// get one full line per ~10% milestone. Everything goes to stderr, so
+// result rows on stdout stay clean for stream parsing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace icpda::runner {
+
+class Progress {
+ public:
+  /// `label` prefixes every status line; `enabled == false` makes the
+  /// whole object a no-op (tests, --no-progress).
+  Progress(std::string label, std::size_t total_cells, bool enabled);
+
+  /// Record one completed cell (thread-safe).
+  void tick();
+
+  /// Print the final wall-time / throughput summary line.
+  void finish(unsigned threads);
+
+  [[nodiscard]] std::size_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  void print_status(std::size_t done, bool final_newline);
+
+  std::string label_;
+  std::size_t total_;
+  bool enabled_;
+  bool tty_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::size_t> next_milestone_{0};
+  std::mutex print_mutex_;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace icpda::runner

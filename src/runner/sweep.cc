@@ -1,0 +1,57 @@
+#include "runner/sweep.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace icpda::runner {
+
+Sweep& Sweep::axis(std::string name, std::vector<double> values) {
+  if (values.empty()) throw std::invalid_argument("Sweep: axis '" + name + "' is empty");
+  axes_.push_back(Axis{std::move(name), std::move(values), {}});
+  return *this;
+}
+
+Sweep& Sweep::categorical(std::string name, std::vector<std::string> labels) {
+  if (labels.empty()) throw std::invalid_argument("Sweep: axis '" + name + "' is empty");
+  std::vector<double> values(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) values[i] = static_cast<double>(i);
+  axes_.push_back(Axis{std::move(name), std::move(values), std::move(labels)});
+  return *this;
+}
+
+std::size_t Sweep::point_count() const {
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::size_t Sweep::coordinate(std::size_t index, std::size_t axis_pos) const {
+  // Row-major: the last axis varies fastest.
+  std::size_t stride = 1;
+  for (std::size_t i = axes_.size(); i-- > axis_pos + 1;) stride *= axes_[i].values.size();
+  return (index / stride) % axes_[axis_pos].values.size();
+}
+
+std::size_t Sweep::axis_pos(std::string_view name) const {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].name == name) return i;
+  }
+  throw std::out_of_range("Sweep: unknown axis '" + std::string(name) + "'");
+}
+
+double Point::get(std::string_view axis) const {
+  const std::size_t pos = sweep_->axis_pos(axis);
+  return sweep_->axes()[pos].values[sweep_->coordinate(index_, pos)];
+}
+
+std::string Point::label(std::string_view axis) const {
+  const std::size_t pos = sweep_->axis_pos(axis);
+  const Axis& a = sweep_->axes()[pos];
+  const std::size_t i = sweep_->coordinate(index_, pos);
+  if (!a.labels.empty()) return a.labels[i];
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", a.values[i]);
+  return buf;
+}
+
+}  // namespace icpda::runner

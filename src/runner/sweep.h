@@ -1,0 +1,83 @@
+// Declarative parameter grids for experiment campaigns.
+//
+// A Sweep is an ordered list of named axes; its grid is the cartesian
+// product in row-major order (first axis outermost), which matches the
+// nested `for` loops the bench binaries used to hand-roll — point
+// index 0 is the first row the sequential code would have printed.
+// Axes are numeric (doubles) with optional per-value labels for
+// categorical axes (policy names, scheme names, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icpda::runner {
+
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+  /// Empty, or one label per value (categorical axes).
+  std::vector<std::string> labels;
+};
+
+class Sweep;
+
+/// One grid point: coordinate lookup by axis name plus its flat index.
+class Point {
+ public:
+  Point(const Sweep* sweep, std::size_t index) : sweep_(sweep), index_(index) {}
+
+  /// Flat row-major index of this point in the grid.
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+  /// Coordinate on a named axis; throws std::out_of_range for an
+  /// unknown axis name (a typo'd lookup should fail loudly, not read 0).
+  [[nodiscard]] double get(std::string_view axis) const;
+
+  /// Coordinate cast to an integer count (network sizes etc.).
+  [[nodiscard]] std::size_t count(std::string_view axis) const {
+    return static_cast<std::size_t>(get(axis));
+  }
+
+  /// Label of the coordinate on a categorical axis (falls back to the
+  /// numeric value rendered with %g when the axis has no labels).
+  [[nodiscard]] std::string label(std::string_view axis) const;
+
+ private:
+  const Sweep* sweep_;
+  std::size_t index_;
+};
+
+class Sweep {
+ public:
+  /// Append a numeric axis. Returns *this for chaining. Empty axes are
+  /// rejected (the grid would be empty by accident).
+  Sweep& axis(std::string name, std::vector<double> values);
+
+  /// Append a categorical axis; coordinates are 0..n-1, label() maps
+  /// them back.
+  Sweep& categorical(std::string name, std::vector<std::string> labels);
+
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+
+  /// Total number of grid points (product of axis sizes; 1 for an
+  /// axis-less sweep, which models a single-point experiment).
+  [[nodiscard]] std::size_t point_count() const;
+
+  [[nodiscard]] Point point(std::size_t index) const { return Point(this, index); }
+
+  /// Value of axis `axis_pos` at flat point `index` (row-major).
+  [[nodiscard]] std::size_t coordinate(std::size_t index, std::size_t axis_pos) const;
+
+  /// Position of a named axis; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t axis_pos(std::string_view name) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+}  // namespace icpda::runner

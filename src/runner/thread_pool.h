@@ -1,0 +1,53 @@
+// Fixed-size thread pool for Monte-Carlo campaign execution.
+//
+// Deliberately work-stealing-free: a single FIFO queue behind one
+// mutex. Campaign cells are whole protocol-epoch simulations
+// (milliseconds to seconds each), so queue contention is irrelevant
+// and a simple pool keeps the execution order reasoning trivial —
+// determinism of campaign output comes from the *reduction* order,
+// never from scheduling (see campaign.h).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icpda::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future completes when it has run (or rethrows
+  /// what the task threw).
+  std::future<void> submit(std::function<void()> fn);
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Reasonable worker count for this machine (hardware_concurrency,
+  /// falling back to 1 when the runtime reports 0).
+  [[nodiscard]] static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace icpda::runner

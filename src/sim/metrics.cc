@@ -36,6 +36,15 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || width_ != other.width_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: bucket geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::quantile(double q) const {
   if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
@@ -50,6 +59,11 @@ double Histogram::quantile(double q) const {
     cum += c;
   }
   return bucket_hi(counts_.size() - 1);
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
 }
 
 void MetricRegistry::print(std::ostream& os) const {

@@ -69,6 +69,10 @@ class Histogram {
 
   void add(double x);
 
+  /// Merge a histogram with identical bucketing (same lo/hi/count);
+  /// throws std::invalid_argument on a geometry mismatch.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
@@ -115,6 +119,12 @@ class MetricRegistry {
     counters_.clear();
     stats_.clear();
   }
+
+  /// Fold another registry into this one: counters add, stats merge.
+  /// The reduction step behind parallel experiment execution — merging
+  /// per-run registries in a fixed order is deterministic, so reduced
+  /// results do not depend on which thread finished first.
+  void merge(const MetricRegistry& other);
 
   /// Human-readable dump (used by examples and debugging).
   void print(std::ostream& os) const;

@@ -26,6 +26,21 @@ namespace icpda::sim {
   return z ^ (z >> 31);
 }
 
+/// Mix an (experiment, point, trial) tuple into a seed by chaining
+/// SplitMix64 over the components. Unlike a small-multiplier linear
+/// form, nearby tuples land in unrelated parts of the seed space, so
+/// distinct experiments can never share an RNG stream by arithmetic
+/// coincidence.
+[[nodiscard]] constexpr std::uint64_t seed_mix(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c) {
+  std::uint64_t state = 0x1CDA2009ULL ^ a;
+  std::uint64_t h = splitmix64(state);
+  state = h ^ b;
+  h = splitmix64(state);
+  state = h ^ c;
+  return splitmix64(state);
+}
+
 /// FNV-1a 64-bit hash of a string, used to derive substream seeds from
 /// human-readable names.
 [[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) {
