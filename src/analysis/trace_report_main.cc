@@ -1,0 +1,74 @@
+// trace_report: fold a trace JSONL file into per-phase tables.
+//
+// Usage: trace_report <trace.jsonl> [--chrome <out.json>]
+//
+// Reads the event schema emitted by analysis::write_trace_jsonl (one
+// object per line; `# ...` comment lines skipped), prints the
+// per-epoch / per-node phase table plus the trace digest, and can
+// additionally convert the trace to Chrome trace_event JSON for
+// about:tracing / Perfetto.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/trace_report.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: trace_report <trace.jsonl> [--chrome <out.json>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string chrome_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chrome") {
+      if (i + 1 >= argc) return usage();
+      chrome_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const auto events = icpda::analysis::read_trace_jsonl(buffer.str());
+    const auto report = icpda::analysis::fold_trace(events);
+    std::fputs(icpda::analysis::render_report(report).c_str(), stdout);
+    std::printf("digest=%016" PRIx64 "\n", icpda::analysis::trace_digest(events));
+    if (!chrome_out.empty()) {
+      std::ofstream out(chrome_out);
+      if (!out) {
+        std::fprintf(stderr, "trace_report: cannot write %s\n", chrome_out.c_str());
+        return 1;
+      }
+      out << icpda::analysis::chrome_trace_json(events);
+      std::printf("chrome trace written to %s\n", chrome_out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

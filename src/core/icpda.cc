@@ -28,6 +28,9 @@ void IcpdaApp::start(net::Node& node) {
   if (!node.is_base_station()) return;
   joined_ = true;
   node.schedule(sim::seconds(config_.timing.start_delay_s), [this, &node] {
+    // The BS opens the epoch: its query flood is Phase I traffic.
+    node.tracer().switch_phase(node.id(), sim::TracePhase::kClusterFormation,
+                               node.now());
     HelloMsg hello;
     hello.query_id = config_.query_id;
     hello.hop = 0;
@@ -100,6 +103,11 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
     node.metrics().add("icpda.hop_budget_exceeded");
     return;
   }
+
+  // First valid query copy: the node is in Phase I from here until its
+  // roster settles (switch_phase is a no-op on later copies).
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kClusterFormation,
+                             node.now());
 
   if (frame.src != 0) hello_sources_.insert(frame.src);
 
@@ -371,6 +379,8 @@ void IcpdaApp::close_roster(net::Node& node) {
   // The head is a member of its own cluster: install the roster and
   // run Phase II alongside everyone else.
   if (cluster_.set_roster(node.id(), roster.members, roster.seeds, node.id())) {
+    node.tracer().switch_phase(node.id(), sim::TracePhase::kShareExchange,
+                               node.now());
     monitor_.set_target(node.id());
     const std::size_t cluster_m = cluster_.size();
     const auto jitter =
@@ -410,6 +420,8 @@ void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
   if (outcome_) ++outcome_->members;
   monitor_.set_target(roster->head);
   node.metrics().add("icpda.member");
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kShareExchange,
+                             node.now());
 
   // Shares that raced ahead of our roster copy are valid now.
   replay_early_shares();
@@ -444,6 +456,7 @@ void IcpdaApp::digest_deadline(net::Node& node) {
   // in no cluster sum. Stand down instead of hanging as a half-armed
   // witness; tree forwarding duties continue regardless of role.
   node.metrics().add("icpda.digest_missed");
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kReport, node.now());
   role_ = ClusterRole::kUnclustered;
   if (outcome_) {
     ++outcome_->unclustered;
@@ -480,6 +493,7 @@ void IcpdaApp::handle_recovery_roster(net::Node& node, const ClusterRosterMsg& r
   my_f_contributors_.clear();
   replay_early_shares();
   node.metrics().add("icpda.recovery_roster");
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kRecovery, node.now());
 
   // Rerun the exchange at the reduced degree on the recovery clock.
   const std::size_t cluster_m = cluster_.size();
@@ -647,6 +661,8 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
   cluster_value_ = *v;
   monitor_.set_cluster_sum(*v);
   node.metrics().add("icpda.cluster_solved");
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kHeadAggregation,
+                             node.now());
 
   // Consolidated digest so every member can verify & solve too.
   ClusterDigestMsg digest;
@@ -670,6 +686,7 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
 void IcpdaApp::start_phase2_recovery(net::Node& node) {
   recovery_started_ = true;
   node.metrics().add("icpda.phase2_recovery");
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kRecovery, node.now());
 
   // Survivors: members whose F arrived (proof of life past the
   // assemble deadline), keeping roster order and their original seeds
@@ -776,6 +793,8 @@ void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
   cluster_value_ = *v;
   monitor_.set_cluster_sum(*v);
   node.metrics().add("icpda.witness_armed");
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kPeerMonitoring,
+                             node.now());
 
   // Head failover: the first member after the head in roster order is
   // the designated backup reporter for the endorsed cluster sum.
@@ -827,6 +846,8 @@ void IcpdaApp::backup_report(net::Node& node) {
   report.aggregate = *cluster_value_;
   report.items.push_back(proto::ReportItem{cluster_.head(), *cluster_value_});
   node.metrics().add("icpda.backup_report");
+  node.tracer().counter(node.id(), sim::TraceCounter::kBackupReport,
+                        cluster_.head(), node.now());
   if (joined_) dispatch_up(node, report, report.to_bytes());
 }
 
@@ -927,6 +948,9 @@ void IcpdaApp::dispatch_up(net::Node& node, const ReportMsg& report,
 void IcpdaApp::send_report(net::Node& node) {
   if (reported_ || node.is_base_station() || !joined_) return;
   reported_ = true;
+  // The report slot opens Phase III for every tree node: heads
+  // originate, everyone else is on pure forwarding duty from here.
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kReport, node.now());
 
   if (role_ != ClusterRole::kHead) {
     // Members and unclustered nodes originate nothing: their readings
@@ -1131,6 +1155,7 @@ bool IcpdaApp::reroute_to_backup(net::Node& node) {
   // with a stale dst and get redispatched through the new parent.
   node.purge_sends_to(dead);
   node.metrics().add("icpda.reroute");
+  node.tracer().counter(node.id(), sim::TraceCounter::kReroute, best, node.now());
   if (outcome_) ++outcome_->reroutes;
   ICPDA_LOG(kInfo) << "reroute: node=" << node.id() << " new_parent=" << best
                    << " t=" << node.now().seconds();
@@ -1295,11 +1320,16 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
   // Bounded horizon: the epoch is over shortly after the BS closes;
   // whatever straggler events remain (late alarms, MAC drain) cannot
   // matter beyond a grace period, and a hard bound keeps any
-  // congestion pathology from running the simulation forever.
-  const auto horizon = sim::seconds(config.timing.start_delay_s +
+  // congestion pathology from running the simulation forever. Relative
+  // to now() so a second epoch can run on the same Network.
+  const auto horizon = net.scheduler().now() +
+                       sim::seconds(config.timing.start_delay_s +
                                     config.phase2_budget_s) +
                        config.timing.close_delay() + sim::seconds(3.0);
   net.run(horizon);
+  // Balance the trace: close every span still open (stragglers, nodes
+  // that crashed after their last event) and stamp the epoch boundary.
+  net.tracer().finalize_epoch(net.scheduler().now());
   // Coverage is judged against the nodes still alive at epoch end: a
   // crashed node's reading is gone by definition, but every survivor's
   // reading should have made it into the accepted aggregate.

@@ -37,6 +37,11 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
 
   metrics_.add("channel.tx_frames");
   metrics_.add("channel.tx_bytes", frame.air_bytes());
+  if (tracer_ && tracer_->enabled()) {
+    // Same value as the channel.tx_bytes metric, attributed to the
+    // sender's current protocol phase — conservation by construction.
+    tracer_->counter(sender, sim::TraceCounter::kTxBytes, frame.air_bytes(), now);
+  }
 
   tx_until_[sender] = std::max(tx_until_[sender], end);
   for (const auto& tap : taps_) tap(sender, frame);
@@ -71,16 +76,30 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
       if (status == ReceptionStatus::kOk && rng_.bernoulli(config_.loss_probability)) {
         status = ReceptionStatus::kLost;
       }
+      const bool traced =
+          tracer_ && tracer_->enabled() && tracer_->config().rx_events;
       switch (status) {
         case ReceptionStatus::kOk:
           metrics_.add("channel.rx_ok");
+          if (traced) {
+            tracer_->counter(r, sim::TraceCounter::kRxBytes, frame.air_bytes(),
+                             sched_.now());
+          }
           break;
         case ReceptionStatus::kCollided:
           metrics_.add("channel.rx_collided");
           if (frame.dst == r) metrics_.add("channel.dst_collided");
+          if (traced) {
+            tracer_->counter(r, sim::TraceCounter::kCollisionBytes,
+                             frame.air_bytes(), sched_.now());
+          }
           break;
         case ReceptionStatus::kLost:
           metrics_.add("channel.rx_lost");
+          if (traced) {
+            tracer_->counter(r, sim::TraceCounter::kLossBytes, frame.air_bytes(),
+                             sched_.now());
+          }
           break;
         case ReceptionStatus::kHalfDuplex:
           metrics_.add("channel.rx_halfduplex");

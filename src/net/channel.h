@@ -24,6 +24,7 @@
 #include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
+#include "sim/trace.h"
 
 namespace icpda::net {
 
@@ -84,6 +85,12 @@ class Channel {
   void set_delivery(DeliveryFn fn) { delivery_ = std::move(fn); }
   void add_tap(TapFn fn) { taps_.push_back(std::move(fn)); }
 
+  /// Attach a tracer: transmit() records kTxBytes at the sender (same
+  /// value and call site as the channel.tx_bytes metric, so per-phase
+  /// trace sums reconcile with the registry exactly) and each delivery
+  /// records kRxBytes / kCollisionBytes / kLossBytes at the receiver.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] const ChannelConfig& config() const { return config_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
@@ -99,6 +106,7 @@ class Channel {
   sim::Rng rng_;
   sim::MetricRegistry& metrics_;
   ChannelConfig config_;
+  sim::Tracer* tracer_ = nullptr;
   DeliveryFn delivery_;
   std::vector<TapFn> taps_;
 

@@ -34,6 +34,13 @@ void Mac::power_off() {
 
 void Mac::power_on() { down_ = false; }
 
+void Mac::trace_drop(const Frame& frame) {
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->counter(self_, sim::TraceCounter::kDropBytes, frame.air_bytes(),
+                     sched_.now());
+  }
+}
+
 void Mac::fail_queued_to(NodeId dst) {
   if (queue_.empty()) return;
   // The front frame is in service whenever the MAC is not idle; its
@@ -52,6 +59,7 @@ void Mac::fail_queued_to(NodeId dst) {
   if (doomed.empty()) return;
   metrics_.add("mac.purged", doomed.size());
   for (const Frame& f : doomed) {
+    trace_drop(f);
     if (cbs_.on_send_failed) cbs_.on_send_failed(f);
   }
 }
@@ -59,12 +67,14 @@ void Mac::fail_queued_to(NodeId dst) {
 void Mac::send(Frame frame) {
   if (down_) {
     metrics_.add("mac.down_drop");
+    trace_drop(frame);
     return;
   }
   frame.src = self_;
   frame.seq = next_seq_++;
   if (queue_.size() >= config_.queue_limit) {
     metrics_.add("mac.queue_drop");
+    trace_drop(frame);
     if (cbs_.on_send_failed) cbs_.on_send_failed(frame);
     return;
   }
@@ -75,6 +85,9 @@ void Mac::send(Frame frame) {
 
 sim::SimTime Mac::random_backoff() {
   const std::uint64_t slots = rng_.below(cw_) + 1;
+  if (tracer_ && tracer_->enabled() && tracer_->config().mac_events) {
+    tracer_->counter(self_, sim::TraceCounter::kBackoffSlots, slots, sched_.now());
+  }
   return sim::seconds(static_cast<double>(slots) * config_.slot_time_s);
 }
 
@@ -150,6 +163,7 @@ void Mac::finish_current(bool success) {
     metrics_.add("mac.tx_ok");
   } else {
     metrics_.add("mac.tx_failed");
+    trace_drop(done);
     if (cbs_.on_send_failed) cbs_.on_send_failed(done);
   }
   if (!queue_.empty()) try_start();

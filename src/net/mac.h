@@ -55,6 +55,11 @@ class Mac {
 
   void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
 
+  /// Attach a tracer: backoff draws record kBackoffSlots and every
+  /// frame the MAC gives up on (queue overflow, retry exhaustion,
+  /// radio-off send, purge) records kDropBytes.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
   /// Enqueue a frame for transmission. The MAC stamps the sequence
   /// number and source address.
   void send(Frame frame);
@@ -96,7 +101,10 @@ class Mac {
   sim::Rng rng_;
   sim::MetricRegistry& metrics_;
   MacConfig config_;
+  sim::Tracer* tracer_ = nullptr;
   Callbacks cbs_;
+
+  void trace_drop(const Frame& frame);
 
   std::deque<Frame> queue_;
   State state_ = State::kIdle;

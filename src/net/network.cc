@@ -31,11 +31,14 @@ void Network::wire() {
   }
   channel_ = std::make_unique<Channel>(topology_, scheduler_, rng_.fork("channel"),
                                        metrics_, config_.channel);
+  scheduler_.set_tracer(&tracer_);
+  channel_->set_tracer(&tracer_);
   macs_.reserve(topology_.size());
   nodes_.reserve(topology_.size());
   for (NodeId id = 0; id < topology_.size(); ++id) {
     macs_.push_back(std::make_unique<Mac>(id, *channel_, scheduler_,
                                           rng_.fork("mac", id), metrics_, config_.mac));
+    macs_.back()->set_tracer(&tracer_);
     nodes_.push_back(std::make_unique<Node>(id, *this, rng_.fork("node", id)));
   }
   // Delivery path: channel -> receiving MAC -> node -> app. A dead
@@ -64,6 +67,8 @@ void Network::set_node_down(NodeId id) {
   if (!nodes_.at(id)->alive()) return;
   nodes_[id]->set_alive(false);
   macs_[id]->power_off();
+  // Crash mid-phase: close every open span so traces stay balanced.
+  tracer_.interrupt(id, scheduler_.now());
   metrics_.add("net.node_down");
 }
 

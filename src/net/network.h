@@ -20,6 +20,7 @@
 #include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
+#include "sim/trace.h"
 
 namespace icpda::net {
 
@@ -56,6 +57,19 @@ class Network {
 
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] Mac& mac(NodeId id) { return *macs_.at(id); }
+
+  // ---- Structured tracing -------------------------------------------
+  // Every Network owns a Tracer (disabled and ring-less by default, so
+  // untraced runs pay one branch per instrumented site). Enabling is
+  // purely observational: the traced run is event-for-event identical
+  // to the untraced one.
+
+  [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const sim::Tracer& tracer() const { return tracer_; }
+
+  /// Allocate per-node rings and start recording.
+  void enable_trace(sim::Tracer::Config cfg) { tracer_.enable(size(), cfg); }
+  void enable_trace() { enable_trace(sim::Tracer::Config{}); }
 
   // ---- Liveness (fault injection) -----------------------------------
   // A down node neither transmits, receives nor overhears: its MAC
@@ -98,6 +112,7 @@ class Network {
   sim::Rng rng_;
   sim::Scheduler scheduler_;
   sim::MetricRegistry metrics_;
+  sim::Tracer tracer_;
   Topology topology_;
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Mac>> macs_;

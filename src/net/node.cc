@@ -38,6 +38,8 @@ void Node::purge_sends_to(NodeId dst) {
 
 sim::MetricRegistry& Node::metrics() { return network_.metrics(); }
 
+sim::Tracer& Node::tracer() { return network_.tracer(); }
+
 const Point& Node::position() const { return network_.topology().position(id_); }
 
 }  // namespace icpda::net

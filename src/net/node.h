@@ -85,6 +85,7 @@ class Node {
   /// has concluded is dead; see Mac::fail_queued_to.
   void purge_sends_to(NodeId dst);
   [[nodiscard]] sim::MetricRegistry& metrics();
+  [[nodiscard]] sim::Tracer& tracer();
   [[nodiscard]] const Point& position() const;
 
   void attach_app(std::unique_ptr<App> app) { app_ = std::move(app); }

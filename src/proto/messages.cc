@@ -16,6 +16,16 @@ std::optional<T> parse(const net::Bytes& b, Fn&& body) {
     return std::nullopt;
   }
 }
+
+/// Guard a wire-supplied element count against the bytes actually left
+/// in the buffer before allocating: a hostile length prefix must yield
+/// a clean parse failure, not a giant reserve().
+void check_count(const net::WireReader& r, std::uint32_t n,
+                 std::size_t min_elem_bytes) {
+  if (static_cast<std::uint64_t>(n) * min_elem_bytes > r.remaining()) {
+    throw net::WireError("element count exceeds remaining payload");
+  }
+}
 }  // namespace
 
 // ---- HelloMsg -------------------------------------------------------
@@ -85,6 +95,7 @@ std::optional<ReportMsg> ReportMsg::from_bytes(const net::Bytes& b) {
     m.reporter = r.u32();
     m.aggregate = Aggregate::read(r);
     const std::uint32_t n = r.u32();
+    check_count(r, n, /*min_elem_bytes=*/28);  // u32 id + 3x f64 triple
     m.items.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       ReportItem item;
@@ -228,6 +239,7 @@ std::optional<ClusterDigestMsg> ClusterDigestMsg::from_bytes(const net::Bytes& b
     m.head = r.u32();
     m.members = r.u32_vec();
     const std::uint32_t n = r.u32();
+    check_count(r, n, /*min_elem_bytes=*/24);  // 3x f64 triple
     m.f_values.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) m.f_values.push_back(Aggregate::read(r));
     m.contributors = r.u32_vec();

@@ -14,12 +14,12 @@ namespace icpda::runner {
 namespace {
 
 void run_cell(const Campaign& campaign, const Point& point, int trial,
-              sim::MetricRegistry& metrics) {
+              sim::MetricRegistry& metrics, bool trace) {
   CellContext ctx{point, trial,
                   sim::seed_mix(campaign.experiment,
                                 static_cast<std::uint64_t>(point.index()),
                                 static_cast<std::uint64_t>(trial)),
-                  metrics};
+                  metrics, trace};
   campaign.cell(ctx);
 }
 
@@ -68,7 +68,7 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
         const Point point = campaign.sweep.point(p);
         PointSummary summary;
         for (int t = 0; t < trials; ++t, ++slot) {
-          run_cell(campaign, point, t, results[slot]);
+          run_cell(campaign, point, t, results[slot], options.trace);
           progress.tick();
           summary.metrics.merge(results[slot]);
           ++summary.trials;
@@ -84,9 +84,10 @@ int run_campaign(const Campaign& campaign, const RunnerOptions& options,
       std::size_t slot = 0;
       for (const std::size_t p : selected) {
         for (int t = 0; t < trials; ++t, ++slot) {
-          futures.push_back(pool.submit([&campaign, &progress, &results, p, t, slot] {
+          futures.push_back(pool.submit([&campaign, &progress, &results, &options, p,
+                                         t, slot] {
             const Point point = campaign.sweep.point(p);
-            run_cell(campaign, point, t, results[slot]);
+            run_cell(campaign, point, t, results[slot], options.trace);
             progress.tick();
           }));
         }

@@ -40,6 +40,10 @@ struct CellContext {
   int trial;
   std::uint64_t seed;
   sim::MetricRegistry& metrics;
+  /// --trace was given: the cell body should enable its Network's
+  /// tracer and fold per-phase results into `metrics`. Tracing must
+  /// stay observational — base metrics identical either way.
+  bool trace = false;
 };
 
 /// Per-point reduction result handed to the row formatter.

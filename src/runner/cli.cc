@@ -91,6 +91,10 @@ bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error
       options.progress = false;
       continue;
     }
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace = true;
+      continue;
+    }
     if (take_value_flag(argc, argv, i, "--threads", value, error)) {
       unsigned long long t = 0;
       if (!error.empty()) return false;
@@ -133,7 +137,7 @@ bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error
 void print_usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads=N] [--trials=N] [--points=SPEC] [--out=PATH]\n"
-               "          [--no-progress] [--help]\n"
+               "          [--trace] [--no-progress] [--help]\n"
                "  --threads=N    worker threads (0 = all hardware threads;\n"
                "                 default $ICPDA_THREADS or 1). Rows are\n"
                "                 byte-identical at every thread count.\n"
@@ -141,6 +145,8 @@ void print_usage(const char* argv0) {
                "                 (default: campaign declaration / $ICPDA_TRIALS)\n"
                "  --points=SPEC  run a subset of flat grid points: 0,3,7 or 2-5\n"
                "  --out=PATH     write result rows to PATH instead of stdout\n"
+               "  --trace        per-cell structured tracing (trace-aware\n"
+               "                 campaigns add per-phase breakdown columns)\n"
                "  --no-progress  suppress the stderr progress/ETA reporter\n",
                argv0);
 }

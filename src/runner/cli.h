@@ -9,6 +9,10 @@
 //   --points=SPEC run only the listed flat grid points, e.g.
 //                 "0,3,7" or "2-5" or "0,4-6" (order-normalized).
 //   --out=PATH    write rows to PATH instead of stdout.
+//   --trace       enable structured event tracing in each cell; trace-
+//                 aware campaigns emit per-phase breakdown columns.
+//                 Purely observational: base columns stay byte-
+//                 identical to an untraced run.
 //   --no-progress suppress the stderr progress reporter.
 //   --help        print usage and exit 0.
 #pragma once
@@ -24,6 +28,7 @@ struct RunnerOptions {
   int trials = 0;                    // 0 = use the campaign's default
   std::vector<std::size_t> points;   // empty = whole grid
   std::string out;                   // empty = stdout
+  bool trace = false;
   bool progress = true;
   bool help = false;
 };

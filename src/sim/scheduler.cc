@@ -49,10 +49,8 @@ std::uint64_t Scheduler::run() {
   std::uint64_t fired = 0;
   Event ev;
   while (pop_next(ev)) {
-    now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     ++fired;
-    ++executed_;
   }
   return fired;
 }
@@ -66,10 +64,8 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
       queue_.push(std::move(ev));
       break;
     }
-    now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     ++fired;
-    ++executed_;
   }
   if (now_ < deadline) now_ = deadline;
   return fired;
@@ -79,10 +75,8 @@ std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
   std::uint64_t fired = 0;
   Event ev;
   while (fired < max_events && pop_next(ev)) {
-    now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     ++fired;
-    ++executed_;
   }
   return fired;
 }

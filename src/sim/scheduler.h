@@ -16,6 +16,7 @@
 
 #include "sim/event.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 
 namespace icpda::sim {
 
@@ -60,7 +61,27 @@ class Scheduler {
   /// are NOT reset — stale EventIds remain safely cancellable no-ops.
   void reset();
 
+  /// Attach a tracer: when it is enabled with scheduler_spans set, the
+  /// run loops record a kDispatch span (global node, value = event id)
+  /// around every callback. Pass nullptr to detach. Purely
+  /// observational — attaching a tracer never changes event order.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
+  /// One event dispatch, with the optional trace span around it.
+  void dispatch(const Event& ev) {
+    now_ = ev.at;
+    Tracer* tr = tracer_;
+    const bool span = tr && tr->enabled() && tr->config().scheduler_spans;
+    if (span) {
+      tr->begin_span(kTraceGlobalNode, TracePhase::kDispatch, now_,
+                     static_cast<std::uint64_t>(ev.id));
+    }
+    ev.fn();
+    if (span) tr->end_span(kTraceGlobalNode, TracePhase::kDispatch, now_);
+    ++executed_;
+  }
+
   // Min-heap on (time, id).
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   /// Ids of events still in the heap (removed on fire/cancel); lets
@@ -70,6 +91,7 @@ class Scheduler {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_id_ = 0;
   std::uint64_t executed_ = 0;
+  Tracer* tracer_ = nullptr;
 
   /// Pops the next non-cancelled event, or returns false if none.
   bool pop_next(Event& out);

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Line-coverage gate for the subsystems whose correctness arguments
+# lean on tests rather than types: src/core (protocol logic) and
+# src/sim (scheduler, RNG, tracer). Builds the `coverage` preset, runs
+# the tier-1 test lane (`-LE slow` — the gate must reflect what every
+# PR runs, not the slow randomized lanes), then enforces the per-prefix
+# thresholds checked in at tests/coverage_baseline.txt.
+#
+# Ratchet policy: when coverage rises, raise the baseline in the same
+# PR; never lower it to make a PR pass.
+set -eu
+
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo_root"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset coverage
+cmake --build --preset coverage -j "$jobs"
+ctest --test-dir build-coverage --output-on-failure -j "$jobs" -LE slow
+python3 tests/coverage_report.py build-coverage tests/coverage_baseline.txt

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage per subsystem and enforce a baseline.
+
+Usage: coverage_report.py <build-dir> <baseline-file>
+
+Finds every .gcda under <build-dir>, asks gcov for JSON intermediate
+records, folds executed/executable line counts per source prefix, and
+fails (exit 1) if any prefix listed in the baseline file dips below its
+threshold. Uses only gcov + the standard library, so the gate runs
+identically in CI and in a bare toolchain container.
+
+Baseline file format (comments with '#'):
+    <source-prefix> <min-line-coverage-percent>
+e.g.
+    src/core 85.0
+"""
+import collections
+import glob
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def parse_baseline(path):
+    thresholds = {}
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            prefix, pct = line.split()
+            thresholds[prefix] = float(pct)
+    return thresholds
+
+
+def run_gcov(build_dir, out_dir):
+    # gcov runs with cwd=out_dir (it drops its .gcov.json.gz there), so
+    # every path we hand it must be absolute.
+    build_dir = os.path.abspath(build_dir)
+    gcda = sorted(glob.glob(os.path.join(build_dir, "**", "*.gcda"),
+                            recursive=True))
+    if not gcda:
+        sys.exit(f"no .gcda files under {build_dir} — "
+                 "build the 'coverage' preset and run ctest first")
+    # One gcov invocation per object directory keeps -o unambiguous.
+    by_dir = collections.defaultdict(list)
+    for path in gcda:
+        by_dir[os.path.dirname(path)].append(path)
+    for obj_dir, files in by_dir.items():
+        subprocess.run(
+            ["gcov", "--json-format", "-o", obj_dir] + files,
+            cwd=out_dir, check=True, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+
+
+def fold(out_dir, repo_root):
+    covered = collections.Counter()
+    executable = collections.Counter()
+    seen = set()  # (source, line) — headers appear in many TUs
+    line_hits = collections.Counter()
+    for path in glob.glob(os.path.join(out_dir, "*.gcov.json.gz")):
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            data = json.load(fh)
+        for rec in data.get("files", []):
+            src = rec["file"]
+            if not os.path.isabs(src):
+                src = os.path.normpath(
+                    os.path.join(data.get("current_working_directory", ""), src))
+            src = os.path.relpath(src, repo_root)
+            if src.startswith(".."):
+                continue  # system/third-party headers
+            for ln in rec.get("lines", []):
+                key = (src, ln["line_number"])
+                seen.add(key)
+                if ln.get("count", 0) > 0:
+                    line_hits[key] += 1
+    for src, _ in seen:
+        executable[src] += 1
+    for (src, _), _hits in line_hits.items():
+        covered[src] += 1
+    return covered, executable
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    build_dir, baseline_path = sys.argv[1], sys.argv[2]
+    repo_root = os.getcwd()
+    thresholds = parse_baseline(baseline_path)
+
+    with tempfile.TemporaryDirectory() as out_dir:
+        run_gcov(build_dir, out_dir)
+        covered, executable = fold(out_dir, repo_root)
+
+    def pct(prefix):
+        cov = sum(n for src, n in covered.items() if src.startswith(prefix))
+        tot = sum(n for src, n in executable.items() if src.startswith(prefix))
+        return (100.0 * cov / tot if tot else 0.0), cov, tot
+
+    failed = False
+    for prefix in sorted(thresholds):
+        got, cov, tot = pct(prefix)
+        want = thresholds[prefix]
+        status = "OK  " if got >= want else "FAIL"
+        if got < want:
+            failed = True
+        print(f"{status} {prefix:<16} {got:6.2f}% (lines {cov}/{tot}, "
+              f"baseline {want:.2f}%)")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,236 @@
+// Codec fuzzing for the protocol message catalogue (proto/messages.h
+// plus the sealed ShareBody): every decoder must treat the payload as
+// hostile — arbitrary bytes, truncations and bit flips may yield
+// nullopt but must never crash, throw, or hang — and every encoder must
+// round-trip: decode(encode(m)) re-encodes to the identical bytes.
+//
+// Labelled `slow` in CTest alongside the property suites.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cpda_algebra.h"
+#include "proto/messages.h"
+#include "sim/rng.h"
+
+namespace icpda::proto {
+namespace {
+
+net::Bytes random_bytes(sim::Rng& rng, std::size_t max_len) {
+  net::Bytes b(rng.below(max_len + 1));
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.below(256));
+  return b;
+}
+
+/// Hostile-input property for one message type: random garbage,
+/// truncations of valid encodings, and single-byte corruptions must all
+/// decode without crashing. Valid encodings must round-trip to
+/// identical bytes.
+template <typename Msg>
+void fuzz_codec(const Msg& valid, sim::Rng& rng, const char* name) {
+  const net::Bytes wire = valid.to_bytes();
+
+  // decode(encode(m)) must succeed and re-encode byte-identically.
+  const auto decoded = Msg::from_bytes(wire);
+  ASSERT_TRUE(decoded.has_value()) << name << ": own encoding rejected";
+  ASSERT_EQ(decoded->to_bytes(), wire) << name << ": round trip not identity";
+
+  // Every truncation of a valid encoding.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const net::Bytes cut(wire.begin(),
+                         wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_NO_THROW((void)Msg::from_bytes(cut)) << name << " truncated to " << len;
+  }
+
+  // Single-byte corruptions of a valid encoding; survivors that still
+  // decode must still round-trip (the codec never half-parses).
+  for (int i = 0; i < 400; ++i) {
+    net::Bytes mut = wire;
+    if (mut.empty()) break;
+    mut[rng.below(mut.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    std::optional<Msg> d;
+    EXPECT_NO_THROW(d = Msg::from_bytes(mut)) << name << " corrupted byte";
+    if (d) {
+      EXPECT_NO_THROW((void)d->to_bytes());
+    }
+  }
+
+  // Pure garbage, short and long.
+  for (int i = 0; i < 1200; ++i) {
+    const net::Bytes junk = random_bytes(rng, i % 3 == 0 ? 8 : 256);
+    EXPECT_NO_THROW((void)Msg::from_bytes(junk)) << name << " random garbage";
+  }
+}
+
+Aggregate random_aggregate(sim::Rng& rng) {
+  return Aggregate{rng.uniform(-1e6, 1e6), rng.uniform(-1e6, 1e6),
+                   rng.uniform(0.0, 1e9)};
+}
+
+TEST(MessagesFuzzTest, HelloMsg) {
+  sim::Rng rng(1);
+  HelloMsg m;
+  m.query_id = 0xABCD1234;
+  m.hop = 7;
+  m.allowed_mask = random_bytes(rng, 32);
+  fuzz_codec(m, rng, "HelloMsg");
+}
+
+TEST(MessagesFuzzTest, TagReportMsg) {
+  sim::Rng rng(2);
+  TagReportMsg m;
+  m.query_id = 99;
+  m.reporter = 17;
+  m.aggregate = random_aggregate(rng);
+  fuzz_codec(m, rng, "TagReportMsg");
+}
+
+TEST(MessagesFuzzTest, ReportMsg) {
+  sim::Rng rng(3);
+  ReportMsg m;
+  m.query_id = 5;
+  m.reporter = 3;
+  for (net::NodeId id = 1; id <= 6; ++id) {
+    m.items.push_back(ReportItem{id, random_aggregate(rng)});
+    m.aggregate.merge(m.items.back().value);
+  }
+  fuzz_codec(m, rng, "ReportMsg");
+}
+
+TEST(MessagesFuzzTest, ClusterHelloMsg) {
+  sim::Rng rng(4);
+  ClusterHelloMsg m;
+  m.query_id = 1;
+  m.head = 42;
+  m.hop = 3;
+  fuzz_codec(m, rng, "ClusterHelloMsg");
+}
+
+TEST(MessagesFuzzTest, JoinMsg) {
+  sim::Rng rng(5);
+  JoinMsg m;
+  m.query_id = 2;
+  m.member = 8;
+  m.head = 42;
+  fuzz_codec(m, rng, "JoinMsg");
+}
+
+TEST(MessagesFuzzTest, ClusterRosterMsg) {
+  sim::Rng rng(6);
+  ClusterRosterMsg m;
+  m.query_id = 3;
+  m.head = 42;
+  m.round = 1;
+  m.members = {42, 8, 9, 11};
+  m.seeds = {1, 3, 2, 4};
+  fuzz_codec(m, rng, "ClusterRosterMsg");
+}
+
+TEST(MessagesFuzzTest, ShareMsg) {
+  sim::Rng rng(7);
+  ShareMsg m;
+  m.query_id = 4;
+  m.sender = 8;
+  m.recipient = 9;
+  m.sealed = random_bytes(rng, 64);
+  fuzz_codec(m, rng, "ShareMsg");
+}
+
+TEST(MessagesFuzzTest, FAnnounceMsg) {
+  sim::Rng rng(8);
+  FAnnounceMsg m;
+  m.query_id = 5;
+  m.member = 9;
+  m.head = 42;
+  m.round = 0;
+  m.f = random_aggregate(rng);
+  m.contributors = {8, 9, 11, 42};
+  fuzz_codec(m, rng, "FAnnounceMsg");
+}
+
+TEST(MessagesFuzzTest, ClusterDigestMsg) {
+  sim::Rng rng(9);
+  ClusterDigestMsg m;
+  m.query_id = 6;
+  m.head = 42;
+  m.members = {42, 8, 9};
+  for (int i = 0; i < 3; ++i) m.f_values.push_back(random_aggregate(rng));
+  m.contributors = {8, 9, 42};
+  fuzz_codec(m, rng, "ClusterDigestMsg");
+}
+
+TEST(MessagesFuzzTest, AlarmMsg) {
+  sim::Rng rng(10);
+  AlarmMsg m;
+  m.query_id = 7;
+  m.kind = AlarmMsg::kDropSuspect;
+  m.witness = 9;
+  m.accused = 42;
+  m.expected_sum = 123.456;
+  m.observed_sum = -7.5;
+  fuzz_codec(m, rng, "AlarmMsg");
+}
+
+TEST(MessagesFuzzTest, SliceMsg) {
+  sim::Rng rng(11);
+  SliceMsg m;
+  m.query_id = 8;
+  m.sender = 5;
+  m.recipient = 6;
+  m.sealed = random_bytes(rng, 48);
+  fuzz_codec(m, rng, "SliceMsg");
+}
+
+TEST(MessagesFuzzTest, ShareBody) {
+  sim::Rng rng(12);
+  core::ShareBody m;
+  m.query_id = 9;
+  m.round = 1;
+  m.share = random_aggregate(rng);
+  fuzz_codec(m, rng, "ShareBody");
+}
+
+// Cross-type confusion: a valid encoding of every type fed to every
+// OTHER decoder must not crash (frame types normally route payloads,
+// but a malicious sender controls the type byte independently).
+TEST(MessagesFuzzTest, CrossTypeDecodingNeverCrashes) {
+  sim::Rng rng(13);
+  std::vector<net::Bytes> wires;
+  {
+    HelloMsg h;
+    h.query_id = 1;
+    h.allowed_mask = random_bytes(rng, 16);
+    wires.push_back(h.to_bytes());
+    ReportMsg r;
+    r.items.push_back(ReportItem{1, random_aggregate(rng)});
+    wires.push_back(r.to_bytes());
+    ClusterRosterMsg cr;
+    cr.members = {1, 2, 3};
+    cr.seeds = {1, 2, 3};
+    wires.push_back(cr.to_bytes());
+    AlarmMsg a;
+    wires.push_back(a.to_bytes());
+    ShareMsg s;
+    s.sealed = random_bytes(rng, 32);
+    wires.push_back(s.to_bytes());
+  }
+  for (const net::Bytes& w : wires) {
+    EXPECT_NO_THROW((void)HelloMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)TagReportMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)ReportMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)ClusterHelloMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)JoinMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)ClusterRosterMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)ShareMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)FAnnounceMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)ClusterDigestMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)AlarmMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)SliceMsg::from_bytes(w));
+    EXPECT_NO_THROW((void)core::ShareBody::from_bytes(w));
+  }
+}
+
+}  // namespace
+}  // namespace icpda::proto

@@ -1,16 +1,28 @@
 #!/usr/bin/env sh
-# Build the asan preset and run the fault-path test binaries under
-# AddressSanitizer + UBSan. The fault-injection code paths (crash
-# mid-epoch, MAC queue purges, recovery rounds) exercise object
-# lifetimes the happy path never touches; this is the cheap way to keep
-# them honest. Usage: tests/run_sanitized.sh [extra ctest -R regex]
+# Run the fault-path test binaries under sanitizers, in two passes:
+#
+#   1. asan  — AddressSanitizer + UBSan together: object-lifetime bugs
+#      on the crash/purge/recovery paths the happy path never touches.
+#   2. ubsan — UBSan alone: no shadow-memory slowdown, so the
+#      allocation-heavy randomized suites (property/fuzz, label `slow`)
+#      join the run and hostile-input UB gets real coverage.
+#
+# Usage: tests/run_sanitized.sh [extra ctest -R regex]
 set -eu
 
 repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cd "$repo_root"
+jobs="$(nproc 2>/dev/null || echo 4)"
 
+filter="${1:-FaultInjectionTest|MacFailureTest|LossGuardTest|TraceTest|TraceConservationTest}"
+
+echo "== pass 1/2: asan (address+undefined) =="
 cmake --preset asan
-cmake --build --preset asan -j "$(nproc 2>/dev/null || echo 4)"
-
-filter="${1:-FaultInjectionTest|MacFailureTest|LossGuardTest}"
+cmake --build --preset asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -R "$filter"
+
+echo "== pass 2/2: ubsan (undefined only, including slow suites) =="
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$jobs"
+ctest --test-dir build-ubsan --output-on-failure -R "$filter"
+ctest --test-dir build-ubsan --output-on-failure -L slow
