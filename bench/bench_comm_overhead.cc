@@ -60,7 +60,9 @@ int main(int argc, char** argv) {
   c.name = "F2: total on-air bytes vs network size";
   c.label = "bench_comm_overhead";
   c.experiment = static_cast<std::uint64_t>(bench::Experiment::kCommOverhead);
-  c.sweep.axis("n", {200, 300, 400, 500, 600});
+  // Default axis is the paper's; ICPDA_N_AXIS=2000,3000,4000,5000
+  // turns this binary into the T3 scaling sweep (EXPERIMENTS.md).
+  c.sweep.axis("n", bench::size_axis({200, 300, 400, 500, 600}));
   c.trials = bench::trials();
 
   c.cell = [&keys](runner::CellContext& ctx) {

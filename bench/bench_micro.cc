@@ -1,10 +1,21 @@
 // Micro-benchmarks (google-benchmark): the hot kernels a deployment
 // would care about — share generation / interpolation, sealing,
-// PRF throughput, scheduler and topology construction.
+// PRF throughput, scheduler push/pop/cancel, channel broadcast
+// fan-out, topology construction, and full-epoch wall-clock.
+//
+// The scheduler/channel/epoch kernels feed BENCH_PR4.json (see
+// tools/perf_smoke.py): they are the repo's perf-regression baseline,
+// so keep their names and Arg lists stable.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "core/cpda_algebra.h"
+#include "core/icpda.h"
 #include "crypto/cipher.h"
+#include "net/network.h"
 #include "net/topology.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
@@ -70,6 +81,97 @@ void BM_SchedulerChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerChurn);
 
+void BM_SchedulerPushPop(benchmark::State& state) {
+  // Fill-then-drain at queue depth n: the pure heap push/pop cost with
+  // no cancels. Delays are precomputed so the RNG stays out of the
+  // timed region.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(41);
+  std::vector<double> delays(n);
+  for (auto& d : delays) d = rng.uniform(1.0, 1000.0);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.after(sim::micros(delays[i]), [] {});
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SchedulerPushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  // Schedule n, cancel all n in shuffled order, then drain the (empty)
+  // queue: isolates the cancel path — the MAC does this for every
+  // successfully ACKed unicast, so it is a true hot path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(43);
+  std::vector<double> delays(n);
+  for (auto& d : delays) d = rng.uniform(1.0, 1000.0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<sim::EventId> ids(n);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = sched.after(sim::micros(delays[i]), [] {});
+    }
+    for (const std::size_t i : order) sched.cancel(ids[i]);
+    sched.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SchedulerCancel)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ChannelBroadcastFanout(benchmark::State& state) {
+  // One transmission into a clique of n nodes: reception registration,
+  // the per-receiver overlap scan, and n-1 delivery events.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<net::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<double>(i % 16), static_cast<double>(i / 16)});
+  }
+  net::NetworkConfig cfg;
+  net::Network network(net::Topology{std::move(pts), 50.0}, cfg);
+  std::uint64_t delivered = 0;
+  network.channel().set_delivery(
+      [&delivered](net::NodeId, const net::Frame&, net::ReceptionStatus) {
+        ++delivered;
+      });
+  net::Frame frame;
+  frame.src = 0;
+  frame.payload.assign(64, 0x42);
+  for (auto _ : state) {
+    network.channel().transmit(0, frame, nullptr);
+    network.scheduler().run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_ChannelBroadcastFanout)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_IcpdaEpoch(benchmark::State& state) {
+  // Full iCPDA epochs on one paper-density deployment: the end-to-end
+  // number the T3 wall-clock-vs-N experiment tracks. The deployment is
+  // built outside the timed region; each iteration is one epoch.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = bench::default_keys();
+  net::Network network(bench::paper_network(n, 0x9E3779B9));
+  const core::IcpdaConfig cfg;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = network.scheduler().executed();
+    core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+    events += network.scheduler().executed() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_epoch"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_IcpdaEpoch)->Arg(500)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
 void BM_TopologyBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const net::Field field(400, 400);
@@ -82,4 +184,22 @@ BENCHMARK(BM_TopologyBuild)->Arg(200)->Arg(600)->Arg(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// The smoke lane runs every registered benchmark, so the expensive T3
+// scaling points (N=3000..5000 is minutes of wall-clock per pass) are
+// only registered under ICPDA_BIG_N=1 — used when regenerating
+// BENCH_PR4.json and the EXPERIMENTS.md T3 table.
+int main(int argc, char** argv) {
+  if (std::getenv("ICPDA_BIG_N")) {
+    benchmark::RegisterBenchmark("BM_IcpdaEpoch", BM_IcpdaEpoch)
+        ->Arg(3000)
+        ->Arg(4000)
+        ->Arg(5000)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

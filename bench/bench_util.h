@@ -63,6 +63,31 @@ inline const std::vector<std::size_t>& paper_sizes() {
   return sizes;
 }
 
+/// The sweep's network-size axis, overridable via ICPDA_N_AXIS — a
+/// comma-separated size list (e.g. ICPDA_N_AXIS=2000,3000,4000,5000
+/// for the T3 wall-clock scaling sweep, EXPERIMENTS.md). Cell seeds
+/// key on the flat point *index*, so an overridden axis is its own
+/// deterministic experiment: byte-stable across runs and thread
+/// counts for a fixed axis, but its rows are not point-for-point
+/// comparable with the default axis.
+inline std::vector<double> size_axis(std::vector<double> defaults) {
+  const char* env = std::getenv("ICPDA_N_AXIS");
+  if (!env || !*env) return defaults;
+  std::vector<double> sizes;
+  const char* p = env;
+  while (*p) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || v == 0) {
+      std::fprintf(stderr, "ICPDA_N_AXIS: bad size list '%s'\n", env);
+      std::exit(2);
+    }
+    sizes.push_back(static_cast<double>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return sizes;
+}
+
 inline net::NetworkConfig paper_network(std::size_t n, std::uint64_t seed) {
   net::NetworkConfig cfg;
   cfg.node_count = n;

@@ -1,6 +1,5 @@
 #include "net/channel.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace icpda::net {
@@ -44,10 +43,15 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
   }
 
   tx_until_[sender] = std::max(tx_until_[sender], end);
-  for (const auto& tap : taps_) tap(sender, frame);
+
+  // One shared immutable frame per transmission: taps and every
+  // receiver see this single copy by reference.
+  auto shared = std::make_shared<const Frame>(std::move(frame));
+  for (const auto& tap : taps_) tap(sender, *shared);
 
   // Register the reception at every in-range node and detect overlap.
-  for (const NodeId r : topo_.neighbors(sender)) {
+  const auto receivers = topo_.neighbors(sender);
+  for (const NodeId r : receivers) {
     auto& rs = receptions_[r];
     bool corrupted = false;
     for (auto& other : rs) {
@@ -59,54 +63,15 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
       }
     }
     // Half-duplex: a receiver mid-transmission cannot decode.
-    const bool rx_while_tx = transmitting(r);
-    rs.push_back(Reception{tx_id, end, corrupted});
+    rs.push_back(Reception{tx_id, end, corrupted, transmitting(r)});
+  }
 
-    // Deliver at end-of-reception. We look the reception status up at
-    // fire time because a *later* transmission can still corrupt it.
-    sched_.at(arrive, [this, r, tx_id, frame, rx_while_tx] {
-      auto& rs2 = receptions_[r];
-      const auto it = std::find_if(rs2.begin(), rs2.end(), [tx_id](const Reception& x) {
-        return x.tx_id == tx_id;
-      });
-      ReceptionStatus status = ReceptionStatus::kOk;
-      if (it != rs2.end() && it->corrupted) status = ReceptionStatus::kCollided;
-      if (it != rs2.end()) rs2.erase(it);
-      if (rx_while_tx || transmitting(r)) status = ReceptionStatus::kHalfDuplex;
-      if (status == ReceptionStatus::kOk && rng_.bernoulli(config_.loss_probability)) {
-        status = ReceptionStatus::kLost;
-      }
-      const bool traced =
-          tracer_ && tracer_->enabled() && tracer_->config().rx_events;
-      switch (status) {
-        case ReceptionStatus::kOk:
-          metrics_.add("channel.rx_ok");
-          if (traced) {
-            tracer_->counter(r, sim::TraceCounter::kRxBytes, frame.air_bytes(),
-                             sched_.now());
-          }
-          break;
-        case ReceptionStatus::kCollided:
-          metrics_.add("channel.rx_collided");
-          if (frame.dst == r) metrics_.add("channel.dst_collided");
-          if (traced) {
-            tracer_->counter(r, sim::TraceCounter::kCollisionBytes,
-                             frame.air_bytes(), sched_.now());
-          }
-          break;
-        case ReceptionStatus::kLost:
-          metrics_.add("channel.rx_lost");
-          if (traced) {
-            tracer_->counter(r, sim::TraceCounter::kLossBytes, frame.air_bytes(),
-                             sched_.now());
-          }
-          break;
-        case ReceptionStatus::kHalfDuplex:
-          metrics_.add("channel.rx_halfduplex");
-          if (frame.dst == r) metrics_.add("channel.dst_halfduplex");
-          break;
-      }
-      if (delivery_) delivery_(r, frame, status);
+  // One delivery event per transmission: every receiver shares the
+  // arrival instant, and per-receiver status is resolved at fire time
+  // because a *later* transmission can still corrupt the frame.
+  if (!receivers.empty()) {
+    sched_.at(arrive, [this, sender, tx_id, shared] {
+      deliver(sender, tx_id, *shared);
     });
   }
 
@@ -114,6 +79,56 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
   sched_.at(end, [cb = std::move(on_tx_done)] {
     if (cb) cb();
   });
+}
+
+void Channel::deliver(NodeId sender, std::uint64_t tx_id, const Frame& frame) {
+  const bool traced = tracer_ && tracer_->enabled() && tracer_->config().rx_events;
+  for (const NodeId r : topo_.neighbors(sender)) {
+    auto& rs = receptions_[r];
+    ReceptionStatus status = ReceptionStatus::kOk;
+    bool rx_while_tx = false;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].tx_id != tx_id) continue;
+      if (rs[i].corrupted) status = ReceptionStatus::kCollided;
+      rx_while_tx = rs[i].rx_while_tx;
+      rs[i] = rs.back();  // swap-remove: the pool keeps its capacity
+      rs.pop_back();
+      break;
+    }
+    if (rx_while_tx || transmitting(r)) status = ReceptionStatus::kHalfDuplex;
+    if (status == ReceptionStatus::kOk && rng_.bernoulli(config_.loss_probability)) {
+      status = ReceptionStatus::kLost;
+    }
+    switch (status) {
+      case ReceptionStatus::kOk:
+        metrics_.add("channel.rx_ok");
+        if (traced) {
+          tracer_->counter(r, sim::TraceCounter::kRxBytes, frame.air_bytes(),
+                           sched_.now());
+        }
+        break;
+      case ReceptionStatus::kCollided:
+        metrics_.add("channel.rx_collided");
+        if (frame.dst == r) metrics_.add("channel.dst_collided");
+        if (traced) {
+          tracer_->counter(r, sim::TraceCounter::kCollisionBytes,
+                           frame.air_bytes(), sched_.now());
+        }
+        break;
+      case ReceptionStatus::kLost:
+        metrics_.add("channel.rx_lost");
+        if (traced) {
+          tracer_->counter(r, sim::TraceCounter::kLossBytes, frame.air_bytes(),
+                           sched_.now());
+        }
+        break;
+      case ReceptionStatus::kHalfDuplex:
+        metrics_.add("channel.rx_halfduplex");
+        if (frame.dst == r) metrics_.add("channel.dst_halfduplex");
+        break;
+    }
+    if (delivery_) delivery_(r, frame, status);
+  }
 }
 
 }  // namespace icpda::net

@@ -13,10 +13,18 @@
 // independent Bernoulli(p_loss) models fading/noise losses per
 // (frame, receiver) pair. These two loss sources are what force the
 // base station's acceptance threshold Th > 0.
+//
+// Fan-out is copy-free (DESIGN.md §5f): transmit() moves the frame
+// into one shared immutable allocation and every receiver sees that
+// same Frame by reference — per-receiver state is a 24-byte slot in a
+// reusable per-node pool, and all of a transmission's deliveries run
+// from a single scheduler event (they share the arrival instant, so
+// consolidation is observationally invisible).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/packet.h"
@@ -50,6 +58,8 @@ class Channel {
  public:
   /// receiver, frame, status. Called once per in-range node per frame
   /// at reception-complete time (ok or not, so MACs can count noise).
+  /// The Frame reference is to the transmission's shared copy: valid
+  /// for the duration of the callback only.
   using DeliveryFn =
       std::function<void(NodeId receiver, const Frame& frame, ReceptionStatus)>;
 
@@ -95,11 +105,24 @@ class Channel {
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
  private:
+  /// One in-flight frame at one receiver. An entry lives in the
+  /// receiver's slot pool from start-of-frame until the transmission's
+  /// delivery pass consumes it (the corrupted flag must survive that
+  /// whole window); slots are reclaimed by swap-removal, so a pool
+  /// never shrinks its capacity — steady state allocates nothing.
   struct Reception {
     std::uint64_t tx_id;
     sim::SimTime end;
     bool corrupted;
+    /// Half-duplex latch: the receiver was mid-transmission when this
+    /// frame started (checked again against `now` at delivery).
+    bool rx_while_tx;
   };
+
+  /// Deliver one transmission to every in-range receiver, in neighbour
+  /// (= ascending id) order — the same order the per-receiver events
+  /// used to fire in, since they shared (arrival time, schedule order).
+  void deliver(NodeId sender, std::uint64_t tx_id, const Frame& frame);
 
   const Topology& topo_;
   sim::Scheduler& sched_;
@@ -112,9 +135,7 @@ class Channel {
 
   /// Per-node time until which the node is transmitting.
   std::vector<sim::SimTime> tx_until_;
-  /// Per-node in-flight receptions. An entry lives from start-of-frame
-  /// until its delivery callback runs (the corrupted flag must survive
-  /// that whole window); only the delivery event erases it.
+  /// Per-node slot pools of in-flight receptions.
   std::vector<std::vector<Reception>> receptions_;
   std::uint64_t next_tx_id_ = 0;
 };

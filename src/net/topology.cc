@@ -4,17 +4,19 @@
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace icpda::net {
 
 Topology::Topology(std::vector<Point> positions, double range)
-    : positions_(std::move(positions)), range_(range), adjacency_(positions_.size()) {
+    : positions_(std::move(positions)), range_(range) {
   if (!(range > 0)) throw std::invalid_argument("Topology: range must be positive");
   // Grid-bucketed neighbour search: O(N) buckets of side `range`, each
   // node only compares against its 3x3 bucket neighbourhood. For the
   // paper-scale N (hundreds) a quadratic scan would also do, but the
   // benchmarks sweep to thousands of nodes.
   const std::size_t n = positions_.size();
+  csr_offsets_.assign(n + 1, 0);
   if (n == 0) return;
 
   double max_x = 0.0;
@@ -33,7 +35,9 @@ Topology::Topology(std::vector<Point> positions, double range)
   };
   for (NodeId i = 0; i < n; ++i) grid[bucket_of(positions_[i])].push_back(i);
 
+  // Pass 1: collect the undirected edge list and per-node degrees.
   const double r2 = range * range;
+  std::vector<std::pair<NodeId, NodeId>> edges;
   for (NodeId i = 0; i < n; ++i) {
     const auto& p = positions_[i];
     const auto cx = std::min(cols - 1, static_cast<std::size_t>(p.x / range));
@@ -43,38 +47,44 @@ Topology::Topology(std::vector<Point> positions, double range)
         for (const NodeId j : grid[gy * cols + gx]) {
           if (j <= i) continue;
           if (distance_sq(p, positions_[j]) <= r2) {
-            adjacency_[i].push_back(j);
-            adjacency_[j].push_back(i);
+            edges.emplace_back(i, j);
+            ++csr_offsets_[i + 1];
+            ++csr_offsets_[j + 1];
           }
         }
       }
     }
   }
-  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+
+  // Pass 2: prefix-sum the degrees into CSR offsets and scatter the
+  // edges; each segment is then sorted so neighbors() yields ascending
+  // ids (cluster formation and the wiretap census rely on that).
+  for (std::size_t i = 1; i <= n; ++i) csr_offsets_[i] += csr_offsets_[i - 1];
+  csr_flat_.resize(csr_offsets_[n]);
+  std::vector<std::uint32_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    csr_flat_[cursor[a]++] = b;
+    csr_flat_[cursor[b]++] = a;
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    std::sort(csr_flat_.begin() + csr_offsets_[i], csr_flat_.begin() + csr_offsets_[i + 1]);
+  }
 }
 
 bool Topology::adjacent(NodeId a, NodeId b) const {
-  const auto& adj = adjacency_.at(a);
+  const auto adj = neighbors(a);
   return std::binary_search(adj.begin(), adj.end(), b);
 }
 
 double Topology::average_degree() const {
   if (positions_.empty()) return 0.0;
-  std::size_t total = 0;
-  for (const auto& adj : adjacency_) total += adj.size();
-  return static_cast<double>(total) / static_cast<double>(positions_.size());
+  return static_cast<double>(csr_flat_.size()) / static_cast<double>(positions_.size());
 }
 
 std::size_t Topology::min_degree() const {
-  std::size_t m = positions_.empty() ? 0 : adjacency_[0].size();
-  for (const auto& adj : adjacency_) m = std::min(m, adj.size());
+  std::size_t m = positions_.empty() ? 0 : degree(0);
+  for (NodeId i = 0; i < positions_.size(); ++i) m = std::min(m, degree(i));
   return m;
-}
-
-std::size_t Topology::edge_count() const {
-  std::size_t total = 0;
-  for (const auto& adj : adjacency_) total += adj.size();
-  return total / 2;
 }
 
 bool Topology::connected() const {
@@ -92,7 +102,7 @@ std::vector<NodeId> Topology::reachable_from(NodeId root) const {
     const NodeId u = frontier.front();
     frontier.pop();
     order.push_back(u);
-    for (const NodeId v : adjacency_[u]) {
+    for (const NodeId v : neighbors(u)) {
       if (!seen[v]) {
         seen[v] = true;
         frontier.push(v);
@@ -110,7 +120,7 @@ std::vector<std::uint32_t> Topology::hop_distances(NodeId root) const {
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
-    for (const NodeId v : adjacency_[u]) {
+    for (const NodeId v : neighbors(u)) {
       if (dist[v] == kUnreachable) {
         dist[v] = dist[u] + 1;
         frontier.push(v);

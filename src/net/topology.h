@@ -3,10 +3,15 @@
 // Two sensors share a wireless link iff their distance is at most the
 // transmission range (the random-geometric-graph model G(N, r) used
 // throughout the paper family). The Topology is immutable once built;
-// the Channel consults it on every transmission.
+// the Channel consults it on every transmission, so the adjacency is
+// stored as a flat CSR array (one offsets array + one neighbour
+// array) built once per deployment: neighbour iteration is a single
+// contiguous scan with no per-node vector indirection.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "net/geometry.h"
@@ -29,17 +34,28 @@ class Topology {
   [[nodiscard]] const Point& position(NodeId id) const { return positions_.at(id); }
   [[nodiscard]] const std::vector<Point>& positions() const { return positions_; }
 
-  /// Physical one-hop neighbours of `id` (excluding `id` itself).
-  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId id) const {
-    return adjacency_.at(id);
+  /// Physical one-hop neighbours of `id` (excluding `id` itself), in
+  /// ascending id order. A contiguous view into the CSR adjacency;
+  /// valid for the lifetime of the Topology.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
+    if (id >= positions_.size()) {
+      throw std::out_of_range("Topology::neighbors: bad node id");
+    }
+    return {csr_flat_.data() + csr_offsets_[id],
+            csr_flat_.data() + csr_offsets_[id + 1]};
   }
 
   [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
 
-  [[nodiscard]] std::size_t degree(NodeId id) const { return adjacency_.at(id).size(); }
+  [[nodiscard]] std::size_t degree(NodeId id) const {
+    if (id >= positions_.size()) {
+      throw std::out_of_range("Topology::degree: bad node id");
+    }
+    return csr_offsets_[id + 1] - csr_offsets_[id];
+  }
   [[nodiscard]] double average_degree() const;
   [[nodiscard]] std::size_t min_degree() const;
-  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] std::size_t edge_count() const { return csr_flat_.size() / 2; }
 
   /// True iff the graph is connected (BFS from node 0).
   [[nodiscard]] bool connected() const;
@@ -54,7 +70,11 @@ class Topology {
  private:
   std::vector<Point> positions_;
   double range_;
-  std::vector<std::vector<NodeId>> adjacency_;
+  /// CSR adjacency: neighbours of i are csr_flat_[csr_offsets_[i] ..
+  /// csr_offsets_[i+1]), sorted ascending. offsets has size() + 1
+  /// entries.
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<NodeId> csr_flat_;
 };
 
 /// Convenience: sample a uniform deployment and build its topology.

@@ -1,36 +1,26 @@
-// Event representation for the discrete-event kernel.
+// Event identity and callback types for the discrete-event kernel.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <utility>
-
-#include "sim/time.h"
 
 namespace icpda::sim {
 
 /// Opaque identifier of a scheduled event; used to cancel it.
 ///
 /// Ids are unique within one Scheduler for the lifetime of the
-/// simulation (64-bit counter, never reused).
+/// simulation: the encoding carries a per-slot generation counter, so
+/// a stale id (fired, cancelled, or from before a reset()) can never
+/// alias a live event and cancel() on it is a safe no-op.
 enum class EventId : std::uint64_t {};
 
 /// Callback executed when an event fires. Events carry no payload of
 /// their own; closures capture whatever state they need.
+///
+/// Dispatch order is (time, schedule-order): events scheduled earlier
+/// at equal times fire first — the deterministic FIFO tie-break that
+/// reproducibility rests on. The ordering key is an internal monotone
+/// sequence number, not the EventId (see scheduler.h).
 using EventFn = std::function<void()>;
-
-/// A scheduled event, ordered by (time, sequence-number) so that events
-/// scheduled earlier at equal times fire first (deterministic FIFO
-/// tie-break, which matters for reproducibility).
-struct Event {
-  SimTime at;
-  EventId id;
-  EventFn fn;
-
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.at != b.at) return a.at > b.at;
-    return static_cast<std::uint64_t>(a.id) > static_cast<std::uint64_t>(b.id);
-  }
-};
 
 }  // namespace icpda::sim

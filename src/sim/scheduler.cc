@@ -12,44 +12,120 @@ EventId Scheduler::at(SimTime t, EventFn fn) {
   if (!fn) {
     throw std::invalid_argument("Scheduler::at: empty callback");
   }
-  const EventId id{next_id_++};
-  queue_.push(Event{t, id, std::move(fn)});
-  pending_ids_.insert(static_cast<std::uint64_t>(id));
-  return id;
+  std::uint32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[s];
+  slot.at = t;
+  slot.seq = next_seq_++;
+  slot.fn = std::move(fn);
+  slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(s);
+  sift_up(heap_.size() - 1);
+  return encode(s, slot.gen);
 }
 
 bool Scheduler::cancel(EventId id) {
-  // We cannot remove from the middle of a binary heap cheaply, so we
-  // record the id and discard the event lazily when it surfaces.
   const auto raw = static_cast<std::uint64_t>(id);
-  if (pending_ids_.erase(raw) == 0) return false;  // fired or unknown
-  cancelled_.insert(raw);
+  const auto s = static_cast<std::uint32_t>(raw & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(raw >> 32);
+  if (s >= slots_.size()) return false;
+  const Slot& slot = slots_[s];
+  if (slot.gen != gen || slot.heap_pos == kNotQueued) return false;  // fired or stale
+  remove_at(slot.heap_pos);
   return true;
 }
 
-bool Scheduler::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const&; we must copy the closure out
-    // before pop. Closures in this codebase are small (captured
-    // pointers + POD), so the copy is cheap.
-    out = queue_.top();
-    queue_.pop();
-    const auto raw = static_cast<std::uint64_t>(out.id);
-    if (auto it = cancelled_.find(raw); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    pending_ids_.erase(raw);
-    return true;
+void Scheduler::sift_up(std::size_t pos) {
+  const std::uint32_t s = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    const std::uint32_t p = heap_[parent];
+    if (!before(s, p)) break;
+    heap_[pos] = p;
+    slots_[p].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
   }
-  return false;
+  heap_[pos] = s;
+  slots_[s].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Scheduler::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  const std::uint32_t s = heap_[pos];
+  while (true) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    const std::uint32_t b = heap_[best];
+    if (!before(b, s)) break;
+    heap_[pos] = b;
+    slots_[b].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = s;
+  slots_[s].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Scheduler::remove_at(std::size_t pos) {
+  release(heap_[pos]);
+  const std::uint32_t moved = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  heap_[pos] = moved;
+  slots_[moved].heap_pos = static_cast<std::uint32_t>(pos);
+  // The replacement came from the bottom: it can only need to move
+  // down, unless the removal hole was below its parent (possible when
+  // removing from the middle) — try both; one is a no-op.
+  sift_up(pos);
+  sift_down(slots_[moved].heap_pos);
+}
+
+void Scheduler::release(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.fn = nullptr;  // drop captured state now, not at slot reuse
+  slot.heap_pos = kNotQueued;
+  ++slot.gen;
+  free_slots_.push_back(s);
+}
+
+bool Scheduler::pop_next(SimTime& at, EventId& id, EventFn& fn) {
+  if (heap_.empty()) return false;
+  const std::uint32_t s = heap_[0];
+  Slot& slot = slots_[s];
+  at = slot.at;
+  id = encode(s, slot.gen);
+  fn = std::move(slot.fn);
+  slot.fn = nullptr;
+  slot.heap_pos = kNotQueued;
+  ++slot.gen;
+  free_slots_.push_back(s);
+  const std::uint32_t moved = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = moved;
+    slots_[moved].heap_pos = 0;
+    sift_down(0);
+  }
+  return true;
 }
 
 std::uint64_t Scheduler::run() {
   std::uint64_t fired = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    dispatch(ev);
+  SimTime at;
+  EventId id;
+  EventFn fn;
+  while (pop_next(at, id, fn)) {
+    dispatch(at, id, fn);
     ++fired;
   }
   return fired;
@@ -57,14 +133,12 @@ std::uint64_t Scheduler::run() {
 
 std::uint64_t Scheduler::run_until(SimTime deadline) {
   std::uint64_t fired = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    if (ev.at > deadline) {
-      // Put it back; it is beyond the horizon.
-      queue_.push(std::move(ev));
-      break;
-    }
-    dispatch(ev);
+  SimTime at;
+  EventId id;
+  EventFn fn;
+  while (!heap_.empty() && slots_[heap_[0]].at <= deadline) {
+    pop_next(at, id, fn);
+    dispatch(at, id, fn);
     ++fired;
   }
   if (now_ < deadline) now_ = deadline;
@@ -73,18 +147,19 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
 
 std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
   std::uint64_t fired = 0;
-  Event ev;
-  while (fired < max_events && pop_next(ev)) {
-    dispatch(ev);
+  SimTime at;
+  EventId id;
+  EventFn fn;
+  while (fired < max_events && pop_next(at, id, fn)) {
+    dispatch(at, id, fn);
     ++fired;
   }
   return fired;
 }
 
 void Scheduler::reset() {
-  queue_ = {};
-  pending_ids_.clear();
-  cancelled_.clear();
+  for (const std::uint32_t s : heap_) release(s);
+  heap_.clear();
   now_ = SimTime::zero();
   executed_ = 0;
 }

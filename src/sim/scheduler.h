@@ -7,11 +7,17 @@
 // HELLO jitter, share-assembly timeouts, epoch deadlines — is an event
 // here; there are no threads and no wall-clock dependence, so a run is
 // a deterministic function of (configuration, RNG seed).
+//
+// Representation (DESIGN.md §5f): an indexed 4-ary min-heap over a
+// slab of event slots. The heap array holds 4-byte slot indices keyed
+// by (time, schedule-sequence); each slot stores its own heap position,
+// so cancel() removes the event from the middle of the heap in
+// O(log n) — no tombstones, no hash tables, no per-event allocation
+// beyond what the closure itself needs. EventIds encode
+// (generation, slot), making stale ids self-invalidating.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/event.h"
@@ -33,7 +39,7 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Number of events currently pending (excludes cancelled ones).
-  [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
   /// Schedule `fn` at absolute time `t`. `t` must be >= now().
   EventId at(SimTime t, EventFn fn);
@@ -41,9 +47,9 @@ class Scheduler {
   /// Schedule `fn` after a relative delay from now().
   EventId after(SimTime delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
 
-  /// Cancel a pending event. Cancelling an already-fired or already
-  /// cancelled event is a harmless no-op. Returns true if the event was
-  /// pending.
+  /// Cancel a pending event: O(log n) true removal from the heap.
+  /// Cancelling an already-fired or already cancelled event is a
+  /// harmless no-op. Returns true if the event was pending.
   bool cancel(EventId id);
 
   /// Run until the queue is empty. Returns the number of events fired.
@@ -58,7 +64,8 @@ class Scheduler {
   std::uint64_t run_steps(std::uint64_t max_events);
 
   /// Drop every pending event and reset the clock to zero. Event ids
-  /// are NOT reset — stale EventIds remain safely cancellable no-ops.
+  /// are NOT reset — stale EventIds remain safely cancellable no-ops
+  /// (their slot generation no longer matches).
   void reset();
 
   /// Attach a tracer: when it is enabled with scheduler_spans set, the
@@ -68,33 +75,68 @@ class Scheduler {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  /// Sentinel heap position marking a slot as free / not queued.
+  static constexpr std::uint32_t kNotQueued = 0xFFFFFFFF;
+
+  /// One event slot in the slab. `seq` is the monotone schedule-order
+  /// tie-break key; `gen` validates EventIds across slot reuse.
+  struct Slot {
+    SimTime at;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t heap_pos = kNotQueued;
+    EventFn fn;
+  };
+
+  [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return static_cast<EventId>((static_cast<std::uint64_t>(gen) << 32) | slot);
+  }
+
+  /// Strict (time, seq) ordering between two queued slots.
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  /// Remove the slot at heap position `pos` (restoring heap order) and
+  /// return it to the free list.
+  void remove_at(std::size_t pos);
+  /// Release a slot back to the free list, bumping its generation.
+  void release(std::uint32_t slot);
+
   /// One event dispatch, with the optional trace span around it.
-  void dispatch(const Event& ev) {
-    now_ = ev.at;
+  void dispatch(SimTime at, EventId id, EventFn& fn) {
+    now_ = at;
     Tracer* tr = tracer_;
     const bool span = tr && tr->enabled() && tr->config().scheduler_spans;
     if (span) {
       tr->begin_span(kTraceGlobalNode, TracePhase::kDispatch, now_,
-                     static_cast<std::uint64_t>(ev.id));
+                     static_cast<std::uint64_t>(id));
     }
-    ev.fn();
+    fn();
     if (span) tr->end_span(kTraceGlobalNode, TracePhase::kDispatch, now_);
     ++executed_;
   }
 
-  // Min-heap on (time, id).
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  /// Ids of events still in the heap (removed on fire/cancel); lets
-  /// cancel() answer "was it pending" exactly.
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Pops the next event into (at, id, fn); false if the queue is
+  /// empty. The slot is released before the caller dispatches, so the
+  /// callback can freely schedule (and reuse storage).
+  bool pop_next(SimTime& at, EventId& id, EventFn& fn);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// 4-ary min-heap of slot indices keyed by (Slot::at, Slot::seq).
+  /// Four-way beats binary here: half the tree depth, and the extra
+  /// sibling compares ride one cache line of 4-byte indices.
+  std::vector<std::uint32_t> heap_;
   SimTime now_ = SimTime::zero();
-  std::uint64_t next_id_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   Tracer* tracer_ = nullptr;
-
-  /// Pops the next non-cancelled event, or returns false if none.
-  bool pop_next(Event& out);
 };
 
 }  // namespace icpda::sim

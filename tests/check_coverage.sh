@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Line-coverage gate for the subsystems whose correctness arguments
-# lean on tests rather than types: src/core (protocol logic) and
-# src/sim (scheduler, RNG, tracer). Builds the `coverage` preset, runs
+# lean on tests rather than types: src/core (protocol logic), src/sim
+# (scheduler, RNG, tracer) and src/net (topology, channel, MAC — the
+# optimized DES hot paths). Builds the `coverage` preset, runs
 # the tier-1 test lane (`-LE slow` — the gate must reflect what every
 # PR runs, not the slow randomized lanes), then enforces the per-prefix
 # thresholds checked in at tests/coverage_baseline.txt.

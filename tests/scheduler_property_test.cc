@@ -1,0 +1,221 @@
+// Scheduler semantics pinned as properties, against a naive reference
+// model. Written BEFORE the indexed-heap rewrite (PR 4) so the
+// observable contract — (time, schedule-order) dispatch order, exact
+// cancel semantics, monotone clock — is frozen independently of the
+// queue's internal representation. Any future scheduler change must
+// keep every test here green without edits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace icpda::sim {
+namespace {
+
+/// Reference model: a flat list of (time, schedule-seq) pairs, sorted
+/// stably. Dispatch order of the real scheduler must equal a stable
+/// sort by time — i.e. ties broken by schedule order.
+struct RefEvent {
+  double at;
+  std::uint64_t seq;
+  bool cancelled = false;
+};
+
+std::vector<std::uint64_t> reference_order(std::vector<RefEvent> evs) {
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const RefEvent& a, const RefEvent& b) { return a.at < b.at; });
+  std::vector<std::uint64_t> order;
+  for (const RefEvent& e : evs) {
+    if (!e.cancelled) order.push_back(e.seq);
+  }
+  return order;
+}
+
+TEST(SchedulerPropertyTest, SameTimestampBatchesFireInScheduleOrder) {
+  // Many events across few distinct timestamps: every tie must resolve
+  // to schedule order, for any interleaving of the timestamps.
+  Rng rng(0xA11CE);
+  for (int trial = 0; trial < 50; ++trial) {
+    Scheduler sched;
+    std::vector<std::uint64_t> fired;
+    std::vector<RefEvent> ref;
+    const int n = 200;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(rng.below(7)) * 0.5;
+      ref.push_back({t, i});
+      sched.at(seconds(t), [&fired, i] { fired.push_back(i); });
+    }
+    sched.run();
+    EXPECT_EQ(fired, reference_order(ref)) << "trial " << trial;
+  }
+}
+
+TEST(SchedulerPropertyTest, CancelThenFireNeverDispatches) {
+  // Cancel every third event, including some in same-timestamp batches;
+  // a cancelled event must never run and cancel() must report exactly
+  // whether the event was still pending.
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 50; ++trial) {
+    Scheduler sched;
+    std::vector<std::uint64_t> fired;
+    std::vector<RefEvent> ref;
+    std::vector<EventId> ids;
+    const int n = 150;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(rng.below(5)) * 0.25;
+      ref.push_back({t, i});
+      ids.push_back(sched.at(seconds(t), [&fired, i] { fired.push_back(i); }));
+    }
+    for (std::uint64_t i = 0; i < n; i += 3) {
+      ref[i].cancelled = true;
+      EXPECT_TRUE(sched.cancel(ids[i]));
+      EXPECT_FALSE(sched.cancel(ids[i]));  // double-cancel: no-op, reported
+    }
+    EXPECT_EQ(sched.pending(), ref.size() - (ref.size() + 2) / 3);
+    sched.run();
+    EXPECT_EQ(fired, reference_order(ref)) << "trial " << trial;
+    // After the run everything has fired: cancel is a universal no-op.
+    for (const EventId id : ids) EXPECT_FALSE(sched.cancel(id));
+  }
+}
+
+TEST(SchedulerPropertyTest, InterleavedScheduleCancelStressMatchesReference) {
+  // Randomized workload mirroring what the MAC does to the scheduler:
+  // schedule bursts, cancel a random live subset (ACK timers), fire,
+  // schedule more from inside callbacks. The reference model only
+  // understands stable-sort-by-time; the scheduler must agree exactly.
+  Rng rng(0xD15EA5E);
+  for (int trial = 0; trial < 25; ++trial) {
+    Scheduler sched;
+    std::vector<std::uint64_t> fired;
+    std::vector<RefEvent> ref;
+    std::vector<std::pair<std::uint64_t, EventId>> live;
+    std::uint64_t next_seq = 0;
+
+    const auto schedule_one = [&](double t) {
+      const std::uint64_t seq = next_seq++;
+      ref.push_back({t, seq});
+      live.emplace_back(seq, sched.at(seconds(t), [&fired, seq] { fired.push_back(seq); }));
+    };
+
+    // Phase A: a burst with heavy timestamp collisions.
+    for (int i = 0; i < 300; ++i) {
+      schedule_one(1.0 + static_cast<double>(rng.below(20)) * 0.125);
+    }
+    // Phase B: cancel a random half of what is live, in random order.
+    rng.shuffle(live);
+    const std::size_t keep = live.size() / 2;
+    while (live.size() > keep) {
+      const auto [seq, id] = live.back();
+      live.pop_back();
+      ref[seq].cancelled = true;
+      EXPECT_TRUE(sched.cancel(id));
+    }
+    // Phase C: more events straddling the cancelled ones' timestamps,
+    // plus one event that cancels another from inside its callback.
+    for (int i = 0; i < 100; ++i) {
+      schedule_one(1.0 + static_cast<double>(rng.below(25)) * 0.1);
+    }
+    {
+      const std::uint64_t victim_seq = next_seq++;
+      ref.push_back({9.0, victim_seq});
+      const EventId victim =
+          sched.at(seconds(9.0), [&fired, victim_seq] { fired.push_back(victim_seq); });
+      ref[victim_seq].cancelled = true;
+      const std::uint64_t killer_seq = next_seq++;
+      ref.push_back({8.0, killer_seq});
+      sched.at(seconds(8.0), [&fired, killer_seq, victim, &sched] {
+        fired.push_back(killer_seq);
+        EXPECT_TRUE(sched.cancel(victim));
+      });
+    }
+    sched.run();
+    EXPECT_EQ(fired, reference_order(ref)) << "trial " << trial;
+  }
+}
+
+TEST(SchedulerPropertyTest, CancelFromInsideSameTimestampBatch) {
+  // An event cancelling a later event of the SAME timestamp must win:
+  // the victim was scheduled later, so it has not fired yet.
+  Scheduler sched;
+  std::vector<int> fired;
+  sched.at(seconds(1.0), [&] { fired.push_back(0); });
+  EventId victim{};
+  sched.at(seconds(1.0), [&] {
+    fired.push_back(1);
+    EXPECT_TRUE(sched.cancel(victim));
+  });
+  victim = sched.at(seconds(1.0), [&] { fired.push_back(2); });
+  sched.at(seconds(1.0), [&] { fired.push_back(3); });
+  sched.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(SchedulerPropertyTest, ReschedulingInsideCallbacksKeepsOrder) {
+  // Chains scheduled from inside callbacks land after already-pending
+  // events of the same timestamp (they were scheduled later).
+  Scheduler sched;
+  std::vector<int> fired;
+  sched.at(seconds(1.0), [&] {
+    fired.push_back(0);
+    sched.at(seconds(2.0), [&] { fired.push_back(3); });  // ties with seq 2, later
+  });
+  sched.at(seconds(2.0), [&] { fired.push_back(2); });
+  sched.at(seconds(1.0), [&] { fired.push_back(1); });
+  sched.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SchedulerPropertyTest, StaleIdsStayNoOpsAcrossReset) {
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(sched.at(seconds(i + 1.0), [] {}));
+  sched.reset();
+  EXPECT_EQ(sched.pending(), 0u);
+  // Stale ids from before the reset must not cancel anything scheduled
+  // after it, even though the queue's storage is being reused.
+  std::vector<EventId> fresh;
+  int fired = 0;
+  for (int i = 0; i < 32; ++i) {
+    fresh.push_back(sched.at(seconds(i + 1.0), [&fired] { ++fired; }));
+  }
+  for (const EventId id : ids) EXPECT_FALSE(sched.cancel(id));
+  EXPECT_EQ(sched.pending(), 32u);
+  sched.run();
+  EXPECT_EQ(fired, 32);
+}
+
+TEST(SchedulerPropertyTest, HeavyChurnClockStaysMonotone) {
+  // Long alternating schedule/cancel/run_steps churn: the clock never
+  // goes backwards and executed() counts exactly the dispatched events.
+  Rng rng(0xC0FFEE);
+  Scheduler sched;
+  std::uint64_t dispatched = 0;
+  double last_now = 0.0;
+  std::vector<EventId> live;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      live.push_back(sched.after(seconds(static_cast<double>(rng.below(50)) * 1e-3),
+                                 [&] { ++dispatched; }));
+    }
+    for (int i = 0; i < 5 && !live.empty(); ++i) {
+      const std::size_t pick = rng.below(live.size());
+      sched.cancel(live[pick]);  // may be stale: both outcomes legal
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    sched.run_steps(10);
+    EXPECT_GE(sched.now().seconds(), last_now);
+    last_now = sched.now().seconds();
+  }
+  sched.run();
+  EXPECT_EQ(sched.executed(), dispatched);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace icpda::sim

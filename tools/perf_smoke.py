@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Perf-regression smoke over the bench_micro hot-kernel baseline.
+
+Runs bench_micro (google-benchmark JSON output), extracts the DES
+substrate kernels, and compares them against the checked-in baseline
+BENCH_PR4.json, printing a per-kernel wall-clock delta. The step is
+advisory by default (exit 0 regardless of deltas): CI runners have
+noisy clocks, so timing regressions are flagged for a human, not
+gated. Pass --max-regress PCT to turn it into a gate locally.
+
+Regenerate the baseline on a quiet machine after an intentional perf
+change:
+
+    python3 tools/perf_smoke.py --bench build/bench/bench_micro \
+        --baseline BENCH_PR4.json --big-n --update
+
+--big-n sets ICPDA_BIG_N=1 so the expensive T3 scaling points
+(BM_IcpdaEpoch/3000..5000, single-iteration) are registered too.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# The kernels that form the perf contract (see bench/bench_micro.cc:
+# names and Arg lists are kept stable for this comparison).
+DEFAULT_FILTER = (
+    "BM_SchedulerChurn|BM_SchedulerPushPop|BM_SchedulerCancel|"
+    "BM_ChannelBroadcastFanout|BM_IcpdaEpoch|BM_TopologyBuild"
+)
+
+
+def run_bench(bench, bench_filter, big_n):
+    env = dict(os.environ)
+    if big_n:
+        env["ICPDA_BIG_N"] = "1"
+    out = subprocess.run(
+        [bench, f"--benchmark_filter={bench_filter}",
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True, env=env)
+    results = {}
+    for b in json.loads(out.stdout)["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "real_time": b["real_time"],
+            "time_unit": b["time_unit"],
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "events_per_epoch" in b:
+            entry["events_per_epoch"] = b["events_per_epoch"]
+        results[b["name"]] = entry
+    return results
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench/bench_micro",
+                    help="path to the bench_micro binary")
+    ap.add_argument("--baseline", default="BENCH_PR4.json",
+                    help="checked-in baseline JSON")
+    ap.add_argument("--filter", default=DEFAULT_FILTER,
+                    help="google-benchmark regex of kernels to run")
+    ap.add_argument("--big-n", action="store_true",
+                    help="register the expensive T3 points (ICPDA_BIG_N=1)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run")
+    ap.add_argument("--max-regress", type=float, default=None, metavar="PCT",
+                    help="fail if any kernel slows by more than PCT percent")
+    args = ap.parse_args()
+
+    current = run_bench(args.bench, args.filter, args.big_n)
+    if not current:
+        sys.exit("perf_smoke: benchmark filter matched nothing")
+
+    if args.update:
+        doc = {
+            "schema": "icpda-perf-baseline-v1",
+            "note": ("DES substrate hot-kernel baseline; regenerate with "
+                     "tools/perf_smoke.py --big-n --update on a quiet "
+                     "machine and review the diff"),
+            "benchmarks": current,
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"perf_smoke: wrote {len(current)} kernels to {args.baseline}")
+        return
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)["benchmarks"]
+
+    worst = 0.0
+    width = max(len(n) for n in baseline)
+    print(f"{'kernel':<{width}}  {'baseline':>12}  {'now':>12}  delta")
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"{name:<{width}}  {'—':>12}  {'—':>12}  (not run)")
+            continue
+        if cur["time_unit"] != base["time_unit"]:
+            sys.exit(f"perf_smoke: {name}: unit changed "
+                     f"{base['time_unit']} -> {cur['time_unit']}")
+        delta = 100.0 * (cur["real_time"] - base["real_time"]) / base["real_time"]
+        worst = max(worst, delta)
+        unit = base["time_unit"]
+        print(f"{name:<{width}}  {base['real_time']:>10.1f}{unit}  "
+              f"{cur['real_time']:>10.1f}{unit}  {delta:+.1f}%")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  (new kernel — not in baseline)")
+
+    if args.max_regress is not None and worst > args.max_regress:
+        sys.exit(f"perf_smoke: worst regression {worst:+.1f}% exceeds "
+                 f"--max-regress {args.max_regress}%")
+
+
+if __name__ == "__main__":
+    main()
