@@ -46,6 +46,7 @@ enum class Experiment : std::uint64_t {
   kClusterPolicy = 16,      // A3
   kAdaptivePc = 17,         // A4
   kFault = 18,              // F9
+  kAttack = 19,             // A5: Byzantine adversary suite
 };
 
 /// Monte-Carlo trials per configuration point.

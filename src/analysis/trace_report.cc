@@ -50,6 +50,8 @@ void add_counter(PhaseStat& stat, TraceCounter c, std::uint64_t value) {
     case TraceCounter::kDropBytes: stat.drop_bytes += value; break;
     case TraceCounter::kReroute:
     case TraceCounter::kBackupReport:
+    case TraceCounter::kAdversaryAction:
+    case TraceCounter::kAdversaryDetect:
     case TraceCounter::kMaxCounter:
       break;  // occurrence counters: no byte bucket
   }

@@ -1,0 +1,127 @@
+#include "attacks/sen_maitra.h"
+
+#include <cmath>
+
+#include "attacks/linear_audit.h"
+#include "core/cpda_algebra.h"
+
+namespace icpda::attacks {
+
+std::size_t CoalitionView::honest_count() const {
+  std::size_t honest = 0;
+  for (const std::uint8_t c : compromised) {
+    if (!c) ++honest;
+  }
+  return honest;
+}
+
+DisclosureResult recover(const CoalitionView& view) {
+  DisclosureResult res;
+  const std::size_t m = view.members.size();
+  if (m == 0 || view.seeds.size() != m || view.compromised.size() != m) {
+    return res;
+  }
+  res.honest = view.honest_count();
+  if (res.honest == 0) return res;
+
+  // Unknowns: one block of m coefficients per HONEST member (constant
+  // term v first, then the m-1 random coefficients). Compromised
+  // members' polynomials are known to the coalition and contribute
+  // nothing unknown.
+  std::vector<std::size_t> block(m, static_cast<std::size_t>(-1));
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!view.compromised[i]) block[i] = next++;
+  }
+  LinearKnowledge sys(res.honest * m);
+
+  const auto poly_row = [&](std::vector<double>& row, std::size_t honest_block,
+                            double x) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      row[honest_block * m + k] += p;
+      p *= x;
+    }
+  };
+
+  // Share equations: p_sender(x_recipient) = observed, one unknown
+  // polynomial per row. Only honest senders add information; only
+  // compromised recipients legitimately saw the share.
+  for (const auto& [key, value] : view.shares) {
+    (void)value;  // rhs is irrelevant for determinedness
+    const auto [recipient, sender] = key;
+    if (recipient >= m || sender >= m) continue;
+    if (view.compromised[sender] || !view.compromised[recipient]) continue;
+    std::vector<double> row(res.honest * m, 0.0);
+    poly_row(row, block[sender], view.seeds[recipient]);
+    sys.add_equation(std::move(row));
+  }
+
+  // Digest equations: F_j = sum_i p_i(x_j). The compromised members'
+  // polynomials move to the known side, leaving the sum of the honest
+  // polynomials evaluated at x_j.
+  if (view.digest_seen() && view.f_values.size() == m) {
+    for (std::size_t j = 0; j < m; ++j) {
+      std::vector<double> row(res.honest * m, 0.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!view.compromised[i]) poly_row(row, block[i], view.seeds[j]);
+      }
+      sys.add_equation(std::move(row));
+    }
+  }
+
+  res.equations = sys.equations();
+  res.nullity = sys.nullity();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (view.compromised[i]) continue;
+    // The private value is the polynomial's constant term: unknown
+    // index block*m + 0.
+    if (sys.determined(block[i] * m)) res.disclosed.push_back(i);
+  }
+  return res;
+}
+
+std::optional<double> recover_lone_value(
+    const CoalitionView& view, const std::vector<double>& compromised_readings) {
+  const std::size_t m = view.members.size();
+  if (!disclosure_predicate(view.honest_count(), view.digest_seen())) {
+    return std::nullopt;
+  }
+  if (view.f_values.size() != m || view.seeds.size() != m) return std::nullopt;
+  const auto w = core::lagrange_weights_at_zero(view.seeds);
+  if (w.size() != m) return std::nullopt;
+  double cluster_sum = 0.0;
+  for (std::size_t j = 0; j < m; ++j) cluster_sum += w[j] * view.f_values[j];
+  for (const double r : compromised_readings) cluster_sum -= r;
+  return cluster_sum;
+}
+
+CoalitionView view_from_observation(
+    const core::AdversaryState::ClusterObservation& obs,
+    const std::unordered_set<net::NodeId>& compromised) {
+  CoalitionView view;
+  view.members = obs.members;
+  view.seeds.reserve(obs.seeds.size());
+  for (const std::uint32_t s : obs.seeds) {
+    view.seeds.push_back(static_cast<double>(s));
+  }
+  view.compromised.reserve(obs.members.size());
+  std::map<net::NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < obs.members.size(); ++i) {
+    index[obs.members[i]] = i;
+    view.compromised.push_back(compromised.contains(obs.members[i]) ? 1 : 0);
+  }
+  for (const auto& [key, share] : obs.shares) {
+    const auto r = index.find(key.first);
+    const auto s = index.find(key.second);
+    if (r == index.end() || s == index.end()) continue;
+    view.shares[{r->second, s->second}] = share.sum;
+  }
+  if (obs.digest_seen && obs.f_values.size() == obs.members.size()) {
+    view.f_values.reserve(obs.f_values.size());
+    for (const auto& f : obs.f_values) view.f_values.push_back(f.sum);
+  }
+  return view;
+}
+
+}  // namespace icpda::attacks

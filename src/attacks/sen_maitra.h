@@ -1,0 +1,90 @@
+// The Sen–Maitra algebraic disclosure attack on CPDA share exchange
+// (J. Sen, S. Maitra, "An Attack on Privacy Preserving Data
+// Aggregation Protocol for Wireless Sensor Networks", arXiv 1201.4532).
+//
+// Setting: a CPDA cluster of m members with public seeds x_1..x_m. A
+// coalition of compromised members pools everything it legitimately
+// sees: the shares p_i(x_j) delivered to compromised recipients j, and
+// the public digest F_1..F_m the head broadcasts (F_j = sum_i p_i(x_j)).
+// Each honest member i contributes m unknowns (its private value v_i
+// plus m-1 random coefficients). The coalition's view is a linear
+// system over those unknowns; v_i is DISCLOSED exactly when it is
+// uniquely determined.
+//
+// Rank counting gives the paper's headline result: with exactly ONE
+// honest member h in the cluster, the coalition holds m-1 shares of
+// p_h (one per compromised recipient) and the digest supplies the
+// m-th independent evaluation — p_h is fully determined and
+// v_h = p_h(0) falls out. With two or more honest members the system
+// stays rank-deficient (their polynomials can be jointly shifted), so
+// nothing is disclosed. `recover()` verifies this *empirically* per
+// cluster via attacks::LinearKnowledge; `disclosure_predicate()` is
+// the closed form the differential test checks it against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/adversary.h"
+#include "net/topology.h"
+
+namespace icpda::attacks {
+
+/// The coalition's pooled view of ONE cluster, in roster order.
+struct CoalitionView {
+  std::vector<std::uint32_t> members;     ///< node ids, roster order
+  std::vector<double> seeds;              ///< public seeds, roster order
+  std::vector<std::uint8_t> compromised;  ///< 1 = coalition member
+  /// Observed shares p_sender(x_recipient), keyed by roster indices
+  /// (recipient_idx, sender_idx). Only shares whose recipient is
+  /// compromised are legitimately visible to the coalition.
+  std::map<std::pair<std::size_t, std::size_t>, double> shares;
+  /// The head's published digest (F sums, roster order); empty until
+  /// the digest was observed.
+  std::vector<double> f_values;
+
+  [[nodiscard]] std::size_t honest_count() const;
+  [[nodiscard]] bool digest_seen() const { return !f_values.empty(); }
+};
+
+/// Closed-form disclosure condition from the rank argument above: the
+/// coalition recovers an honest value iff exactly one honest member is
+/// left in the cluster AND the digest is public.
+[[nodiscard]] constexpr bool disclosure_predicate(std::size_t honest,
+                                                  bool digest_seen) {
+  return honest == 1 && digest_seen;
+}
+
+struct DisclosureResult {
+  /// Roster indices of honest members whose private value is uniquely
+  /// determined by the coalition's view.
+  std::vector<std::size_t> disclosed;
+  std::size_t honest = 0;     ///< honest members in the cluster
+  std::size_t equations = 0;  ///< equations the view contributed
+  std::size_t nullity = 0;    ///< free dimensions left in the system
+};
+
+/// Build the coalition's linear system and test each honest member's
+/// private value for determinedness. Purely algebraic — no protocol
+/// state, unit-testable against synthetic clusters.
+[[nodiscard]] DisclosureResult recover(const CoalitionView& view);
+
+/// Numeric recovery for the disclosure_predicate case: interpolate the
+/// digest at zero (the cluster sum) and subtract the coalition's own
+/// readings, leaving the lone honest member's value. nullopt when the
+/// predicate does not hold or the view is malformed.
+[[nodiscard]] std::optional<double> recover_lone_value(
+    const CoalitionView& view, const std::vector<double>& compromised_readings);
+
+/// Adapt a coalition ledger entry recorded by the protocol layer
+/// (core::AdversaryState) to the solver's view.
+[[nodiscard]] CoalitionView view_from_observation(
+    const core::AdversaryState::ClusterObservation& obs,
+    const std::unordered_set<net::NodeId>& compromised);
+
+}  // namespace icpda::attacks

@@ -97,4 +97,16 @@ std::vector<std::uint32_t> ClusterContext::contributor_set() const {
   return announces_.begin()->second.contributors;
 }
 
+std::uint32_t ClusterContext::included_by(net::NodeId member) const {
+  std::uint32_t count = 0;
+  for (const auto& [who, ann] : announces_) {
+    if (who == member) continue;
+    if (std::binary_search(ann.contributors.begin(), ann.contributors.end(),
+                           member)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 }  // namespace icpda::core

@@ -103,6 +103,12 @@ class ClusterContext {
   /// missing announce yields a zero triple in its slot.
   [[nodiscard]] std::vector<proto::Aggregate> announced_f_values() const;
 
+  /// How many OTHER announcers' contributor lists include `member`.
+  /// Withholder attribution keys on this: a member that announced its
+  /// own F (proved alive) yet appears in nobody else's list never sent
+  /// its shares out.
+  [[nodiscard]] std::uint32_t included_by(net::NodeId member) const;
+
  private:
   net::NodeId head_ = net::kNoNode;
   std::vector<std::uint32_t> members_;  ///< roster order

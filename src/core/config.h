@@ -171,6 +171,36 @@ struct IcpdaConfig {
   /// (bit per node id). Empty = every node may head/aggregate. The
   /// bisection localizer narrows this set round by round.
   net::Bytes allowed_mask;
+
+  /// Active-adversary countermeasures (see core/adversary.h). ALL off
+  /// by default: with the defaults the protocol's behaviour — and its
+  /// wire bytes — are identical to the unhardened build (golden trace).
+  struct HardeningConfig {
+    /// Epoch-freshness tag stamped into every Phase II/III frame
+    /// (0 = off). Receivers drop gated frame types whose trailer
+    /// mismatches, so frames captured in earlier epochs are rejected
+    /// at the first hop. The epoch driver bumps this every epoch.
+    std::uint32_t epoch_tag = 0;
+    /// Heads broadcast their own F announcement on the air before the
+    /// digest; every listener (members AND adjacent heads) cross-checks
+    /// it against the entry the head later publishes for itself —
+    /// catching a head that forges its own digest slot (the one slot
+    /// no member endorses) even when all its members collude.
+    bool digest_crosscheck = false;
+    /// Phase II recovery flags members that announced an F (proved
+    /// alive, unicast path working) yet appear in NOBODY else's
+    /// contributor list — shares withheld, not lost — and excludes
+    /// them from the recovery roster instead of re-admitting the
+    /// starver. Requires >= 3 announcers so genuine loss cannot be
+    /// misattributed.
+    bool attribute_withholders = false;
+    /// Members refuse rosters smaller than this many nodes (0 = off):
+    /// a disclosure coalition engineers tiny rosters to isolate one
+    /// honest victim, so honest members walk away and re-join rather
+    /// than accept an anonymity set below the floor.
+    std::uint32_t min_honest_anonymity = 0;
+  };
+  HardeningConfig hardening;
 };
 
 /// Data-pollution attack plan: `polluters` tamper with the aggregate

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "proto/messages.h"
+
 namespace icpda::core {
 
 std::vector<double> default_seeds(std::size_t m) {
@@ -196,6 +198,7 @@ net::Bytes ShareBody::to_bytes() const {
   w.u32(query_id);
   w.u8(round);
   share.write(w);
+  proto::write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -206,6 +209,7 @@ std::optional<ShareBody> ShareBody::from_bytes(const net::Bytes& b) {
     body.query_id = r.u32();
     body.round = r.u8();
     body.share = proto::Aggregate::read(r);
+    body.epoch_tag = proto::read_epoch_tag(r);
     return body;
   } catch (const net::WireError&) {
     return std::nullopt;

@@ -88,6 +88,11 @@ struct ShareBody {
   /// round rides inside the sealed body so it is authenticated.
   std::uint8_t round = 0;
   proto::Aggregate share;
+  /// Epoch-freshness tag (proto::write_epoch_tag trailer; 0 = untagged).
+  /// Unlike the frame-level trailer this copy is under the seal, so a
+  /// replayed share cannot be re-stamped by an attacker without the
+  /// pairwise key.
+  std::uint32_t epoch_tag = 0;
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<ShareBody> from_bytes(const net::Bytes& b);

@@ -3,7 +3,8 @@
 namespace icpda::core {
 
 std::uint32_t schedule_fault_plan(net::Network& net, const FaultPlan& plan,
-                                  sim::Rng rng) {
+                                  sim::Rng rng,
+                                  std::vector<net::NodeId>* crashed_out) {
   if (!plan.active()) return 0;
   auto& sched = net.scheduler();
   std::uint32_t crashes = 0;
@@ -11,6 +12,7 @@ std::uint32_t schedule_fault_plan(net::Network& net, const FaultPlan& plan,
   const auto schedule_crash = [&](net::NodeId id, double at_s) {
     sched.after(sim::seconds(at_s), [&net, id] { net.set_node_down(id); });
     ++crashes;
+    if (crashed_out) crashed_out->push_back(id);
   };
 
   for (net::NodeId id = 1; id < net.size(); ++id) {

@@ -53,8 +53,11 @@ struct FaultPlan {
 /// `rng` and schedules every down/up transition on the network's
 /// scheduler (must be called before the scheduler runs the epoch).
 /// Returns the number of permanent crashes scheduled. Node 0 is
-/// skipped entirely.
+/// skipped entirely. When `crashed_out` is given, the permanently
+/// crashed node ids are appended to it — resolve_compromised()
+/// subtracts them so crashed-and-compromised resolves to crashed.
 std::uint32_t schedule_fault_plan(net::Network& net, const FaultPlan& plan,
-                                  sim::Rng rng);
+                                  sim::Rng rng,
+                                  std::vector<net::NodeId>* crashed_out = nullptr);
 
 }  // namespace icpda::core

@@ -45,6 +45,8 @@ void IcpdaApp::start(net::Node& node) {
 }
 
 void IcpdaApp::on_receive(net::Node& node, const net::Frame& frame) {
+  if (replay_gate(node, frame)) return;
+  if (adv_) maybe_capture(node, frame);
   switch (frame.type) {
     case proto::kHello:
       handle_hello(node, frame);
@@ -79,6 +81,8 @@ void IcpdaApp::on_receive(net::Node& node, const net::Frame& frame) {
 }
 
 void IcpdaApp::on_overhear(net::Node& node, const net::Frame& frame) {
+  if (replay_gate(node, frame)) return;
+  if (adv_) maybe_capture(node, frame);
   switch (frame.type) {
     case proto::kClusterReport:
       overhear_report(node, frame);
@@ -151,6 +155,10 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
   join_time_ = node.now();
   node.metrics().add("icpda.joined_tree");
 
+  // A replaying node is on the air now: schedule this epoch's
+  // injections of frames captured in earlier epochs.
+  if (attacking(AttackClass::kReplay, node)) schedule_replays(node);
+
   // Immediate self-election (the CPDA rule: on hearing the query a
   // node becomes a cluster head with probability pc). A compromised
   // node ignores the coin and grabs the aggregator role. In adaptive
@@ -158,7 +166,14 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
   // estimate (hello_sources_) can accumulate during join_delay.
   const bool grabs_role = attack_ && attack_->active() &&
                           attack_->force_head && attack_->is_polluter(node.id());
-  if (grabs_role || (!config_.adaptive_pc && node.rng().bernoulli(config_.pc))) {
+  // Disclosure and pollution adversaries maximise the aggregator role;
+  // withholders avoid it (they starve clusters from the member side).
+  const bool adv_grabs = compromised(node) && adversary_->force_head &&
+                         (adversary_->attack == AttackClass::kDisclosure ||
+                          adversary_->attack == AttackClass::kPollution);
+  const bool adv_avoids = attacking(AttackClass::kWithhold, node);
+  if (grabs_role || adv_grabs ||
+      (!adv_avoids && !config_.adaptive_pc && node.rng().bernoulli(config_.pc))) {
     become_head(node);
   } else {
     node.schedule(sim::seconds(config_.join_delay_s),
@@ -289,7 +304,9 @@ void IcpdaApp::decide_role(net::Node& node, std::uint32_t round) {
           ? std::min(1.0, config_.adapt_k /
                               std::max<std::size_t>(1, hello_sources_.size()))
           : config_.pc;
-  if (node.rng().bernoulli(pc_eff)) {
+  // Withholders never self-elect (see handle_hello); the final-round
+  // lone-head fallback above still applies so they stay reachable.
+  if (!attacking(AttackClass::kWithhold, node) && node.rng().bernoulli(pc_eff)) {
     become_head(node);
     return;
   }
@@ -317,7 +334,30 @@ void IcpdaApp::close_roster(net::Node& node) {
   ClusterRosterMsg roster;
   roster.query_id = config_.query_id;
   roster.head = node.id();
+  roster.epoch_tag = config_.hardening.epoch_tag;
   roster.members.push_back(node.id());
+
+  if (attacking(AttackClass::kDisclosure, node) && adversary_->engineer_roster) {
+    // Coalition roster engineering (Sen–Maitra setup): admit every
+    // compromised joiner and at most ONE honest victim. With a single
+    // honest polynomial left unknown, the coalition's pooled shares
+    // plus the public digest make the system full rank for the
+    // victim's private value.
+    std::vector<net::NodeId> keep, honest;
+    for (const net::NodeId j : joiners_) {
+      (adv_->is_compromised(j) ? keep : honest).push_back(j);
+    }
+    if (!honest.empty()) keep.push_back(honest.front());
+    if (keep.size() != joiners_.size()) {
+      ++adv_->rosters_engineered;
+      node.metrics().add("icpda.roster_engineered");
+      node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryAction,
+                            static_cast<std::uint64_t>(AttackClass::kDisclosure),
+                            node.now());
+      joiners_ = std::move(keep);
+    }
+  }
+
   // Cap the roster: the intra-cluster exchange is O(m^2) frames
   // through this node's single radio. Excess joiners see a roster
   // without themselves and re-join elsewhere.
@@ -379,6 +419,7 @@ void IcpdaApp::close_roster(net::Node& node) {
   // The head is a member of its own cluster: install the roster and
   // run Phase II alongside everyone else.
   if (cluster_.set_roster(node.id(), roster.members, roster.seeds, node.id())) {
+    if (attacking(AttackClass::kDisclosure, node)) observe_roster(node);
     node.tracer().switch_phase(node.id(), sim::TracePhase::kShareExchange,
                                node.now());
     monitor_.set_target(node.id());
@@ -411,6 +452,20 @@ void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
     retry_or_give_up(node);
     return;
   }
+  if (config_.hardening.min_honest_anonymity > 0 && !compromised(node) &&
+      roster->members.size() < config_.hardening.min_honest_anonymity) {
+    // Anonymity floor: a tiny roster is exactly the shape a disclosure
+    // coalition engineers around one victim. Walk away and try another
+    // head rather than accept an anonymity set below the floor.
+    // (Compromised members skip this — the attacker does not police
+    // itself.)
+    node.metrics().add("icpda.roster_refused");
+    if (outcome_) ++outcome_->rosters_refused;
+    node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryDetect,
+                          roster->head, node.now());
+    retry_or_give_up(node);
+    return;
+  }
   if (!cluster_.set_roster(roster->head, roster->members, roster->seeds, node.id())) {
     role_ = ClusterRole::kUnclustered;
     if (outcome_) ++outcome_->unclustered;
@@ -418,6 +473,7 @@ void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
     return;
   }
   if (outcome_) ++outcome_->members;
+  if (attacking(AttackClass::kDisclosure, node)) observe_roster(node);
   monitor_.set_target(roster->head);
   node.metrics().add("icpda.member");
   node.tracer().switch_phase(node.id(), sim::TracePhase::kShareExchange,
@@ -444,6 +500,7 @@ void IcpdaApp::replay_early_shares() {
   for (const auto& [sender, entry] : early_shares_) {
     if (entry.first == phase2_round_ && cluster_.in_roster(sender)) {
       cluster_.record_share(sender, entry.second);
+      observe_share(sender, entry.second);
     }
   }
   early_shares_.clear();
@@ -515,6 +572,18 @@ void IcpdaApp::send_shares(net::Node& node) {
   const auto& members = cluster_.members();
 
   cluster_.set_kept_share(shares[cluster_.my_index()]);
+  if (attacking(AttackClass::kWithhold, node) && members.size() > 1) {
+    // Withholding: keep our own share, send nothing to any peer. The
+    // victims' F values become unassemblable (or inconsistent), so the
+    // head cannot run the m-point Vandermonde solve — yet we still
+    // announce an F below, so naive recovery keeps re-admitting us.
+    adv_->shares_withheld += static_cast<std::uint32_t>(members.size() - 1);
+    node.metrics().add("icpda.share_withheld");
+    node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryAction,
+                          static_cast<std::uint64_t>(AttackClass::kWithhold),
+                          node.now());
+    return;
+  }
   for (std::size_t j = 0; j < members.size(); ++j) {
     if (j == cluster_.my_index()) continue;
     const net::NodeId peer = members[j];
@@ -528,10 +597,12 @@ void IcpdaApp::send_shares(net::Node& node) {
       continue;
     }
     ShareBody body{config_.query_id, phase2_round_, shares[j]};
+    body.epoch_tag = config_.hardening.epoch_tag;
     ShareMsg msg;
     msg.query_id = config_.query_id;
     msg.sender = node.id();
     msg.recipient = peer;
+    msg.epoch_tag = config_.hardening.epoch_tag;
     msg.sealed = crypto::seal(*key, node.rng()(), body.to_bytes());
     // Cluster members are all within range of the head but not
     // necessarily of each other (the cluster is a star): member-to-
@@ -596,6 +667,7 @@ void IcpdaApp::handle_share(net::Node& node, const net::Frame& frame) {
     return;
   }
   cluster_.record_share(msg->sender, body->share);
+  observe_share(msg->sender, body->share);
   node.metrics().add("icpda.share_received");
 }
 
@@ -611,10 +683,19 @@ void IcpdaApp::announce_f(net::Node& node) {
   msg.round = phase2_round_;
   msg.f = my_f_;
   msg.contributors = my_f_contributors_;
+  msg.epoch_tag = config_.hardening.epoch_tag;
 
   if (role_ == ClusterRole::kHead) {
     // The head's own F goes straight into its context.
     cluster_.record_announce(node.id(), my_f_, my_f_contributors_);
+    if (config_.hardening.digest_crosscheck) {
+      // Commit the head's own F on the air before the digest exists:
+      // listeners pin it and later cross-check the digest's head entry
+      // against this commitment (the one digest slot no member
+      // endorses).
+      node.broadcast(proto::kFAnnounce, msg.to_bytes());
+      node.metrics().add("icpda.f_selfannounced");
+    }
   } else {
     node.send(cluster_.head(), proto::kFAnnounce, msg.to_bytes());
     node.metrics().add("icpda.f_sent");
@@ -622,9 +703,15 @@ void IcpdaApp::announce_f(net::Node& node) {
 }
 
 void IcpdaApp::handle_f_announce(net::Node& node, const net::Frame& frame) {
-  if (role_ != ClusterRole::kHead) return;
+  if (role_ != ClusterRole::kHead && !config_.hardening.digest_crosscheck) return;
   const auto msg = FAnnounceMsg::from_bytes(frame.payload);
-  if (!msg || msg->query_id != config_.query_id || msg->head != node.id()) return;
+  if (!msg || msg->query_id != config_.query_id) return;
+  if (config_.hardening.digest_crosscheck && msg->member == msg->head &&
+      msg->member == frame.src) {
+    // A head committing its own F: pin it for the digest cross-check.
+    head_f_seen_[msg->member] = msg->f.sum;
+  }
+  if (role_ != ClusterRole::kHead || msg->head != node.id()) return;
   if (msg->round != phase2_round_) {
     // Round-0 F arriving after a recovery reset (or a probe re-send
     // racing ahead): different-degree polynomials, not comparable.
@@ -652,7 +739,30 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
     if (outcome_) ++outcome_->clusters_failed;
     return;
   }
-  const auto v = cluster_.solve();
+  // Pollution: a compromised head forges its OWN entry in the digest —
+  // the one slot no member endorses (each member checks only its own
+  // F). Dividing the injected bias by this entry's Lagrange weight at 0
+  // makes the solved cluster sum come out exactly pollution_delta high,
+  // so witnesses armed with the (also biased) digest still pass.
+  bool forged = false;
+  auto f_vals = cluster_.announced_f_values();  // roster order
+  if (attacking(AttackClass::kPollution, node) && f_vals.size() >= 2) {
+    const auto w = lagrange_weights_at_zero(cluster_.seed_values());
+    const std::size_t me = cluster_.my_index();
+    if (me < w.size() && w[me] != 0.0) {
+      f_vals[me].sum += adversary_->pollution_delta / w[me];
+      forged = true;
+      ++adv_->digests_forged;
+      if (outcome_) ++outcome_->pollution_events;
+      node.metrics().add("icpda.digest_forged");
+      node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryAction,
+                            static_cast<std::uint64_t>(AttackClass::kPollution),
+                            node.now());
+    }
+  }
+
+  const auto v =
+      forged ? solve_cluster_sum(cluster_.seed_values(), f_vals) : cluster_.solve();
   if (!v) {
     node.metrics().add("icpda.solve_failed");
     if (outcome_) ++outcome_->clusters_failed;
@@ -669,8 +779,10 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
   digest.query_id = config_.query_id;
   digest.head = node.id();
   digest.members = cluster_.members();
-  digest.f_values = cluster_.announced_f_values();  // roster order
+  digest.f_values = forged ? f_vals : cluster_.announced_f_values();
   digest.contributors = cluster_.contributor_set();
+  digest.epoch_tag = config_.hardening.epoch_tag;
+  if (attacking(AttackClass::kDisclosure, node)) observe_digest(node, digest);
 
   for (std::uint32_t r = 0; r < std::max<std::uint32_t>(1, config_.f_repeats); ++r) {
     const auto jitter = sim::seconds(
@@ -696,13 +808,27 @@ void IcpdaApp::start_phase2_recovery(net::Node& node) {
   roster.query_id = config_.query_id;
   roster.head = node.id();
   roster.round = 1;
+  roster.epoch_tag = config_.hardening.epoch_tag;
   const auto& all = cluster_.members();
   const auto& all_seeds = cluster_.seed_ints();
   for (std::size_t j = 0; j < all.size(); ++j) {
-    if (cluster_.announced(all[j])) {
-      roster.members.push_back(all[j]);
-      roster.seeds.push_back(all_seeds[j]);
+    if (!cluster_.announced(all[j])) continue;
+    if (config_.hardening.attribute_withholders && all[j] != node.id() &&
+        cluster_.announces_received() >= 3 && cluster_.included_by(all[j]) == 0) {
+      // Announced an F (alive, unicast path working) yet appears in
+      // NOBODY else's contributor list: with >= 3 announcers the ARQ'd
+      // share unicasts cannot all have died one-sidedly, so this member
+      // withheld its shares. Exclude it from the recovery roster instead
+      // of re-admitting the starver for a second round of the same.
+      node.metrics().add("icpda.withholder_flagged");
+      if (outcome_) ++outcome_->withholders_flagged;
+      node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryDetect,
+                            all[j], node.now());
+      raise_alarm(node, all[j], AlarmMsg::kDropSuspect, 0.0, 0.0);
+      continue;
     }
+    roster.members.push_back(all[j]);
+    roster.seeds.push_back(all_seeds[j]);
   }
   const std::size_t m = roster.members.size();
   const std::size_t orig_m = all.size();
@@ -758,9 +884,12 @@ void IcpdaApp::start_phase2_recovery(net::Node& node) {
 }
 
 void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
-  if (role_ != ClusterRole::kMember || !cluster_.has_roster()) return;
+  const bool member_path = role_ == ClusterRole::kMember && cluster_.has_roster();
+  if (!member_path && !config_.hardening.digest_crosscheck) return;
   const auto digest = ClusterDigestMsg::from_bytes(frame.payload);
   if (!digest || digest->query_id != config_.query_id) return;
+  if (config_.hardening.digest_crosscheck) crosscheck_digest(node, *digest);
+  if (!member_path) return;
   if (digest->head != cluster_.head()) return;
   if (monitor_.knows_cluster_sum()) return;  // duplicate repeat
   if (digest->members != cluster_.members() ||
@@ -768,6 +897,7 @@ void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
     node.metrics().add("icpda.digest_malformed");
     return;
   }
+  if (attacking(AttackClass::kDisclosure, node)) observe_digest(node, *digest);
 
   // Endorsement check 1: our own F entry must be exactly what we sent.
   const std::size_t my_idx = cluster_.my_index();
@@ -827,6 +957,7 @@ void IcpdaApp::arm_backup_reporter(net::Node& node) {
     msg.round = phase2_round_;
     msg.f = my_f_;
     msg.contributors = my_f_contributors_;
+    msg.epoch_tag = config_.hardening.epoch_tag;
     node.send(cluster_.head(), proto::kFAnnounce, msg.to_bytes());
     node.metrics().add("icpda.backup_probe");
   });
@@ -844,6 +975,7 @@ void IcpdaApp::backup_report(net::Node& node) {
   report.query_id = config_.query_id;
   report.reporter = cluster_.head();
   report.aggregate = *cluster_value_;
+  report.epoch_tag = config_.hardening.epoch_tag;
   report.items.push_back(proto::ReportItem{cluster_.head(), *cluster_value_});
   node.metrics().add("icpda.backup_report");
   node.tracer().counter(node.id(), sim::TraceCounter::kBackupReport,
@@ -964,6 +1096,7 @@ void IcpdaApp::send_report(net::Node& node) {
   report.reporter = node.id();
   report.aggregate = pending_;
   report.items = items_;
+  report.epoch_tag = config_.hardening.epoch_tag;
 
   if (cluster_value_) {
     // The head's own cluster sum rides as an item under its own id.
@@ -1267,6 +1400,7 @@ void IcpdaApp::raise_alarm(net::Node& node, net::NodeId accused,
   alarm.accused = accused;
   alarm.expected_sum = expected;
   alarm.observed_sum = observed;
+  alarm.epoch_tag = config_.hardening.epoch_tag;
   node.broadcast(proto::kAlarm, alarm.to_bytes());
   node.metrics().add("icpda.alarm_raised");
 }
@@ -1307,16 +1441,128 @@ void IcpdaApp::close_epoch(net::Node& node) {
 }
 
 // ---------------------------------------------------------------------
+// Active-adversary interception helpers
 
-IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
-                             const proto::ReadingProvider& readings,
-                             const crypto::KeyScheme& keys, const AttackPlan& attack,
-                             const FaultPlan& faults) {
-  IcpdaOutcome outcome;
-  net.attach_apps([&](net::Node&) {
-    return std::make_unique<IcpdaApp>(config, readings, &keys, &attack, &outcome);
-  });
-  outcome.nodes_crashed = schedule_fault_plan(net, faults, net.rng().fork("faults"));
+bool IcpdaApp::replay_gate(net::Node& node, const net::Frame& frame) {
+  if (config_.hardening.epoch_tag == 0) return false;
+  if (!proto::epoch_tag_gated(frame.type)) return false;
+  if (!proto::epoch_tag_stale(frame.payload, config_.hardening.epoch_tag)) {
+    return false;
+  }
+  // A gated frame without this epoch's freshness trailer: either a
+  // replay of a capture from an earlier epoch or a pre-hardening
+  // capture (no trailer at all). Drop it before any handler runs.
+  node.metrics().add("icpda.replay_rejected");
+  if (outcome_) ++outcome_->replay_rejections;
+  node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryDetect,
+                        frame.src, node.now());
+  return true;
+}
+
+void IcpdaApp::maybe_capture(net::Node& node, const net::Frame& frame) {
+  if (!attacking(AttackClass::kReplay, node)) return;
+  if (frame.type != proto::kFAnnounce && frame.type != proto::kClusterReport) {
+    return;
+  }
+  if (adv_->captured.size() >= AdversaryState::kCaptureCap) return;
+  auto& mine = adv_->capture_counts[{adv_->epoch, node.id()}];
+  if (mine >= AdversaryState::kCapturePerNode) return;
+  ++mine;
+  adv_->captured.push_back(AdversaryState::CapturedFrame{
+      node.id(), adv_->epoch, frame.type, frame.dst, frame.payload});
+}
+
+void IcpdaApp::schedule_replays(net::Node& node) {
+  std::uint32_t budget = adversary_->replay_budget;
+  for (const auto& cap : adv_->captured) {
+    if (budget == 0) break;
+    if (cap.capturer != node.id() || cap.epoch >= adv_->epoch) continue;
+    --budget;
+    // Reports are most damaging near the Phase III slots; everything
+    // else goes out mid-Phase II. Copy the capture into the closure —
+    // the vector may grow while these callbacks are pending.
+    const double at = cap.type == proto::kClusterReport
+                          ? config_.phase2_budget_s + node.rng().uniform(0.0, 0.4)
+                          : 0.6 + node.rng().uniform(0.0, 0.6);
+    node.schedule(sim::seconds(at), [this, &node, type = cap.type, dst = cap.dst,
+                                     payload = cap.payload] {
+      ++adv_->replays_injected;
+      node.metrics().add("icpda.replay_injected");
+      node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryAction,
+                            static_cast<std::uint64_t>(AttackClass::kReplay),
+                            node.now());
+      if (dst == net::kBroadcast) {
+        node.broadcast(type, payload);
+      } else {
+        node.send(dst, type, payload);
+      }
+    });
+  }
+}
+
+void IcpdaApp::observe_roster(net::Node& node) {
+  if (!attacking(AttackClass::kDisclosure, node) || !cluster_.has_roster()) return;
+  auto& obs = adv_->clusters[{adv_->epoch, cluster_.head()}];
+  obs.members = cluster_.members();
+  obs.seeds = cluster_.seed_ints();
+  obs.shares.clear();
+  obs.f_values.clear();
+  obs.digest_seen = false;
+}
+
+void IcpdaApp::observe_share(net::NodeId sender, const proto::Aggregate& share) {
+  if (adv_ == nullptr || adversary_ == nullptr ||
+      adversary_->attack != AttackClass::kDisclosure || !cluster_.has_roster()) {
+    return;
+  }
+  const net::NodeId self = cluster_.members()[cluster_.my_index()];
+  if (!adv_->is_compromised(self)) return;
+  // The coalition pools every share a compromised member receives:
+  // p_sender(x_self), keyed (recipient, sender).
+  adv_->clusters[{adv_->epoch, cluster_.head()}].shares[{self, sender}] = share;
+}
+
+void IcpdaApp::observe_digest(net::Node& node, const proto::ClusterDigestMsg& digest) {
+  if (!attacking(AttackClass::kDisclosure, node)) return;
+  const auto it = adv_->clusters.find({adv_->epoch, digest.head});
+  if (it == adv_->clusters.end()) return;
+  if (it->second.members != digest.members) return;
+  it->second.f_values = digest.f_values;
+  it->second.digest_seen = true;
+}
+
+void IcpdaApp::crosscheck_digest(net::Node& node, const proto::ClusterDigestMsg& digest) {
+  if (compromised(node)) return;  // the attacker does not police itself
+  const auto seen = head_f_seen_.find(digest.head);
+  if (seen == head_f_seen_.end()) return;
+  for (std::size_t j = 0; j < digest.members.size() && j < digest.f_values.size();
+       ++j) {
+    if (digest.members[j] != digest.head) continue;
+    if (std::abs(digest.f_values[j].sum - seen->second) >
+        config_.witness_tolerance) {
+      // The head published a different F for itself than it committed
+      // on the air before solving: the one digest slot no member
+      // endorses, forged. Attributable — alarm on the head.
+      node.metrics().add("icpda.digest_crosscheck_alarm");
+      if (outcome_) ++outcome_->crosscheck_alarms;
+      node.tracer().counter(node.id(), sim::TraceCounter::kAdversaryDetect,
+                            digest.head, node.now());
+      raise_alarm(node, digest.head, AlarmMsg::kValueTamper, seen->second,
+                  digest.f_values[j].sum);
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Shared epoch tail: bounded horizon, trace finalization, coverage.
+/// `outcome` is the SAME object the attached apps point at — by
+/// reference, so everything the BS writes during net.run() lands here.
+void run_epoch_tail(net::Network& net, const IcpdaConfig& config,
+                    IcpdaOutcome& outcome) {
   // Bounded horizon: the epoch is over shortly after the BS closes;
   // whatever straggler events remain (late alarms, MAC drain) cannot
   // matter beyond a grace period, and a hard bound keeps any
@@ -1342,6 +1588,44 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
     outcome.values_lost =
         static_cast<std::uint32_t>(std::lround(live_sensors - reached));
   }
+}
+
+}  // namespace
+
+IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
+                             const proto::ReadingProvider& readings,
+                             const crypto::KeyScheme& keys, const AttackPlan& attack,
+                             const FaultPlan& faults) {
+  IcpdaOutcome outcome;
+  net.attach_apps([&](net::Node&) {
+    return std::make_unique<IcpdaApp>(config, readings, &keys, &attack, &outcome);
+  });
+  outcome.nodes_crashed = schedule_fault_plan(net, faults, net.rng().fork("faults"));
+  run_epoch_tail(net, config, outcome);
+  return outcome;
+}
+
+IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
+                             const proto::ReadingProvider& readings,
+                             const crypto::KeyScheme& keys,
+                             const AdversaryPlan& adversary, AdversaryState& adv,
+                             const FaultPlan& faults) {
+  IcpdaOutcome outcome;
+  // Faults first: the crash set must be materialized before the
+  // compromised set resolves, so crashed-and-compromised deterministically
+  // resolves to crashed (a dead node mounts no attack).
+  std::vector<net::NodeId> crashed;
+  outcome.nodes_crashed =
+      schedule_fault_plan(net, faults, net.rng().fork("faults"), &crashed);
+  ++adv.epoch;
+  outcome.compromised_nodes =
+      resolve_compromised(net, adversary, crashed, net.rng().fork("adversary"), adv);
+  static const AttackPlan kNoLegacyAttack;
+  net.attach_apps([&](net::Node&) {
+    return std::make_unique<IcpdaApp>(config, readings, &keys, &kNoLegacyAttack,
+                                      &outcome, &adversary, &adv);
+  });
+  run_epoch_tail(net, config, outcome);
   return outcome;
 }
 

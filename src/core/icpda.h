@@ -33,6 +33,7 @@
 #include <set>
 #include <vector>
 
+#include "core/adversary.h"
 #include "core/cluster.h"
 #include "core/config.h"
 #include "core/faults.h"
@@ -83,18 +84,33 @@ struct IcpdaOutcome {
   std::uint32_t values_lost = 0;
   /// result.count / live sensors at epoch end (1.0 when nothing runs).
   double coverage = 0.0;
+
+  // Active adversary (filled when an AdversaryPlan runs; zero otherwise).
+  /// Nodes resolved compromised this epoch (after crashed-first).
+  std::uint32_t compromised_nodes = 0;
+  /// Stale-epoch frames dropped by the freshness gate (hardening).
+  std::uint32_t replay_rejections = 0;
+  /// Members flagged as share withholders by the recovery round.
+  std::uint32_t withholders_flagged = 0;
+  /// Digest-vs-announcement mismatches caught by the cross-check.
+  std::uint32_t crosscheck_alarms = 0;
+  /// Rosters refused by members under the anonymity floor.
+  std::uint32_t rosters_refused = 0;
 };
 
 class IcpdaApp final : public net::App {
  public:
   IcpdaApp(IcpdaConfig config, proto::ReadingProvider readings,
            const crypto::KeyScheme* keys, const AttackPlan* attack,
-           IcpdaOutcome* outcome)
+           IcpdaOutcome* outcome, const AdversaryPlan* adversary = nullptr,
+           AdversaryState* adv = nullptr)
       : config_(config),
         readings_(std::move(readings)),
         keys_(keys),
         attack_(attack),
         outcome_(outcome),
+        adversary_(adversary),
+        adv_(adv),
         monitor_(WitnessMonitor::Config{config.witness_tolerance,
                                         config.alarm_on_omission,
                                         config.omission_guard_s}) {}
@@ -165,11 +181,39 @@ class IcpdaApp final : public net::App {
   void arm_backup_reporter(net::Node& node);
   void backup_report(net::Node& node);
 
+  // Active adversary (core/adversary.h). `compromised` is true when the
+  // adversary layer is attached AND this node is in the resolved set;
+  // `attacking` additionally matches the plan's attack class. Honest
+  // nodes (and every node in a benign run) take none of these branches.
+  [[nodiscard]] bool compromised(const net::Node& node) const {
+    return adv_ != nullptr && adversary_ != nullptr &&
+           adv_->is_compromised(node.id());
+  }
+  [[nodiscard]] bool attacking(AttackClass c, const net::Node& node) const {
+    return compromised(node) && adversary_->attack == c;
+  }
+  /// True iff the freshness gate drops this frame (stale epoch tag).
+  bool replay_gate(net::Node& node, const net::Frame& frame);
+  /// kReplay: squirrel away interesting Phase II/III frames.
+  void maybe_capture(net::Node& node, const net::Frame& frame);
+  /// kReplay: schedule this epoch's injections of past captures.
+  void schedule_replays(net::Node& node);
+  /// kDisclosure: pool roster/share/digest knowledge into the ledger.
+  void observe_roster(net::Node& node);
+  void observe_share(net::NodeId sender, const proto::Aggregate& share);
+  void observe_digest(net::Node& node, const proto::ClusterDigestMsg& digest);
+  /// Hardened digest cross-check (all receivers, incl. foreign heads).
+  void crosscheck_digest(net::Node& node, const proto::ClusterDigestMsg& digest);
+
   IcpdaConfig config_;
   proto::ReadingProvider readings_;
   const crypto::KeyScheme* keys_;
   const AttackPlan* attack_;
   IcpdaOutcome* outcome_;
+  const AdversaryPlan* adversary_ = nullptr;
+  AdversaryState* adv_ = nullptr;
+  /// digest_crosscheck: head id -> F sum it self-announced on the air.
+  std::map<net::NodeId, double> head_f_seen_;
 
   // Tree state.
   bool joined_ = false;           ///< has a (participating) tree parent
@@ -246,6 +290,18 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
                              const proto::ReadingProvider& readings,
                              const crypto::KeyScheme& keys,
                              const AttackPlan& attack = {},
+                             const FaultPlan& faults = {});
+
+/// Active-adversary epoch: faults are scheduled FIRST and the
+/// compromised set is resolved against the materialized crash set
+/// (crashed-and-compromised resolves to crashed), then apps attach with
+/// the adversary layer. `adv` persists across epochs of one scenario —
+/// its epoch counter is bumped here — so replay captures and the
+/// disclosure coalition's ledger accumulate.
+IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
+                             const proto::ReadingProvider& readings,
+                             const crypto::KeyScheme& keys,
+                             const AdversaryPlan& adversary, AdversaryState& adv,
                              const FaultPlan& faults = {});
 
 }  // namespace icpda::core

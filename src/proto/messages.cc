@@ -28,6 +28,36 @@ void check_count(const net::WireReader& r, std::uint32_t n,
 }
 }  // namespace
 
+// ---- Epoch-freshness tag --------------------------------------------
+
+void write_epoch_tag(net::WireWriter& w, std::uint32_t tag) {
+  if (tag == 0) return;
+  w.u8(kEpochTagMarker);
+  w.u32(tag);
+}
+
+std::uint32_t read_epoch_tag(net::WireReader& r) {
+  // Exactly one trailer must remain: anything else is either an
+  // untagged encoding (remaining == 0) or trailing junk the decoders
+  // tolerate for forward compatibility.
+  if (r.remaining() != kEpochTagBytes) return 0;
+  if (r.u8() != kEpochTagMarker) return 0;
+  return r.u32();
+}
+
+std::uint32_t peek_epoch_tag(const net::Bytes& payload) {
+  const std::size_t n = payload.size();
+  if (n < kEpochTagBytes || payload[n - 5] != kEpochTagMarker) return 0;
+  return static_cast<std::uint32_t>(payload[n - 4]) |
+         static_cast<std::uint32_t>(payload[n - 3]) << 8 |
+         static_cast<std::uint32_t>(payload[n - 2]) << 16 |
+         static_cast<std::uint32_t>(payload[n - 1]) << 24;
+}
+
+bool epoch_tag_stale(const net::Bytes& payload, std::uint32_t expected) {
+  return expected != 0 && peek_epoch_tag(payload) != expected;
+}
+
 // ---- HelloMsg -------------------------------------------------------
 
 net::Bytes HelloMsg::to_bytes() const {
@@ -85,6 +115,7 @@ net::Bytes ReportMsg::to_bytes() const {
     w.u32(item.id);
     item.value.write(w);
   }
+  write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -103,6 +134,7 @@ std::optional<ReportMsg> ReportMsg::from_bytes(const net::Bytes& b) {
       item.value = Aggregate::read(r);
       m.items.push_back(item);
     }
+    m.epoch_tag = read_epoch_tag(r);
     return m;
   });
 }
@@ -156,6 +188,7 @@ net::Bytes ClusterRosterMsg::to_bytes() const {
   w.u8(round);
   w.u32_vec(members);
   w.u32_vec(seeds);
+  write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -167,6 +200,7 @@ std::optional<ClusterRosterMsg> ClusterRosterMsg::from_bytes(const net::Bytes& b
     m.round = r.u8();
     m.members = r.u32_vec();
     m.seeds = r.u32_vec();
+    m.epoch_tag = read_epoch_tag(r);
     return m;
   });
 }
@@ -179,6 +213,7 @@ net::Bytes ShareMsg::to_bytes() const {
   w.u32(sender);
   w.u32(recipient);
   w.blob(sealed);
+  write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -189,6 +224,7 @@ std::optional<ShareMsg> ShareMsg::from_bytes(const net::Bytes& b) {
     m.sender = r.u32();
     m.recipient = r.u32();
     m.sealed = r.blob();
+    m.epoch_tag = read_epoch_tag(r);
     return m;
   });
 }
@@ -203,6 +239,7 @@ net::Bytes FAnnounceMsg::to_bytes() const {
   w.u8(round);
   f.write(w);
   w.u32_vec(contributors);
+  write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -215,6 +252,7 @@ std::optional<FAnnounceMsg> FAnnounceMsg::from_bytes(const net::Bytes& b) {
     m.round = r.u8();
     m.f = Aggregate::read(r);
     m.contributors = r.u32_vec();
+    m.epoch_tag = read_epoch_tag(r);
     return m;
   });
 }
@@ -229,6 +267,7 @@ net::Bytes ClusterDigestMsg::to_bytes() const {
   w.u32(static_cast<std::uint32_t>(f_values.size()));
   for (const auto& f : f_values) f.write(w);
   w.u32_vec(contributors);
+  write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -243,6 +282,7 @@ std::optional<ClusterDigestMsg> ClusterDigestMsg::from_bytes(const net::Bytes& b
     m.f_values.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) m.f_values.push_back(Aggregate::read(r));
     m.contributors = r.u32_vec();
+    m.epoch_tag = read_epoch_tag(r);
     return m;
   });
 }
@@ -257,6 +297,7 @@ net::Bytes AlarmMsg::to_bytes() const {
   w.u32(accused);
   w.f64(expected_sum);
   w.f64(observed_sum);
+  write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
 }
 
@@ -269,6 +310,7 @@ std::optional<AlarmMsg> AlarmMsg::from_bytes(const net::Bytes& b) {
     m.accused = r.u32();
     m.expected_sum = r.f64();
     m.observed_sum = r.f64();
+    m.epoch_tag = read_epoch_tag(r);
     return m;
   });
 }

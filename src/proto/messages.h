@@ -31,6 +31,40 @@ enum MsgType : net::FrameType {
   kClusterDigest = 12, ///< iCPDA II: head's consolidated F vector
 };
 
+// ---- Epoch-freshness tag (replay hardening) -------------------------
+//
+// When core::HardeningConfig::epoch_tag is non-zero, every Phase II/III
+// sender appends a 5-byte trailer — marker byte 0xE9 + the tag as a
+// little-endian u32 — after its regular payload body, and receivers
+// drop gated frame types whose tag mismatches the current epoch. The
+// trailer is OPTIONAL: a tag of zero encodes nothing, so benign
+// (unhardened) encodings are byte-identical to the previous wire format
+// and old decoders simply ignore the trailing bytes. The frame-level
+// tag is not MACed — it models an authenticated epoch counter (the
+// sealed ShareBody's copy IS under the link MAC); see DESIGN.md §5g
+// for the threat-model caveat.
+
+inline constexpr std::uint8_t kEpochTagMarker = 0xE9;
+inline constexpr std::size_t kEpochTagBytes = 5;  // marker + u32 tag
+
+/// Append the trailer (no-op when tag == 0).
+void write_epoch_tag(net::WireWriter& w, std::uint32_t tag);
+/// Consume a trailing tag iff the reader has exactly one trailer left.
+std::uint32_t read_epoch_tag(net::WireReader& r);
+/// Allocation-free peek at an encoded payload's tag (0 = untagged).
+[[nodiscard]] std::uint32_t peek_epoch_tag(const net::Bytes& payload);
+/// True iff `payload` fails the freshness gate for `expected`
+/// (expected == 0 disables the gate entirely). Allocation-free: stale
+/// frames are rejected before any decoder runs.
+[[nodiscard]] bool epoch_tag_stale(const net::Bytes& payload,
+                                   std::uint32_t expected);
+/// Frame types the receive gate applies to (Phase II/III traffic; the
+/// Phase I flood precedes any per-epoch secret and is out of scope).
+[[nodiscard]] constexpr bool epoch_tag_gated(net::FrameType type) {
+  return type == kClusterRoster || type == kShare || type == kFAnnounce ||
+         type == kClusterDigest || type == kClusterReport || type == kAlarm;
+}
+
 /// Query flood message. `hop` counts from the base station; receivers
 /// adopt the first sender they hear as tree parent. `allowed_mask`
 /// optionally restricts which nodes may serve as aggregators/cluster
@@ -91,6 +125,8 @@ struct ReportMsg {
     return false;
   }
 
+  std::uint32_t epoch_tag = 0;  ///< freshness trailer (0 = untagged)
+
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<ReportMsg> from_bytes(const net::Bytes& b);
 };
@@ -129,6 +165,7 @@ struct ClusterRosterMsg {
   std::uint8_t round = 0;
   std::vector<std::uint32_t> members;  ///< includes the head itself
   std::vector<std::uint32_t> seeds;    ///< same order as members
+  std::uint32_t epoch_tag = 0;         ///< freshness trailer (0 = untagged)
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<ClusterRosterMsg> from_bytes(const net::Bytes& b);
@@ -142,6 +179,7 @@ struct ShareMsg {
   net::NodeId sender = net::kNoNode;
   net::NodeId recipient = net::kNoNode;
   net::Bytes sealed;  ///< crypto::seal of a ShareBody (see core/cpda_algebra.h)
+  std::uint32_t epoch_tag = 0;  ///< freshness trailer (0 = untagged)
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<ShareMsg> from_bytes(const net::Bytes& b);
@@ -164,6 +202,7 @@ struct FAnnounceMsg {
   /// members must agree on this set for the interpolation to be valid;
   /// the head checks the lists for consistency before solving.
   std::vector<std::uint32_t> contributors;
+  std::uint32_t epoch_tag = 0;  ///< freshness trailer (0 = untagged)
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<FAnnounceMsg> from_bytes(const net::Bytes& b);
@@ -182,6 +221,7 @@ struct ClusterDigestMsg {
   std::vector<std::uint32_t> members;  ///< roster order
   std::vector<Aggregate> f_values;     ///< same order as members
   std::vector<std::uint32_t> contributors;  ///< common contributor set
+  std::uint32_t epoch_tag = 0;              ///< freshness trailer (0 = untagged)
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<ClusterDigestMsg> from_bytes(const net::Bytes& b);
@@ -204,6 +244,7 @@ struct AlarmMsg {
   net::NodeId accused = net::kNoNode;
   double expected_sum = 0.0;
   double observed_sum = 0.0;
+  std::uint32_t epoch_tag = 0;  ///< freshness trailer (0 = untagged)
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<AlarmMsg> from_bytes(const net::Bytes& b);

@@ -30,6 +30,8 @@ const char* trace_counter_name(TraceCounter c) {
     case TraceCounter::kDropBytes: return "drop_bytes";
     case TraceCounter::kReroute: return "reroute";
     case TraceCounter::kBackupReport: return "backup_report";
+    case TraceCounter::kAdversaryAction: return "adversary_action";
+    case TraceCounter::kAdversaryDetect: return "adversary_detect";
     case TraceCounter::kMaxCounter: break;
   }
   return "invalid";

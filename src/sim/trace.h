@@ -68,6 +68,8 @@ enum class TraceCounter : std::uint8_t {
   kDropBytes,       ///< frame dropped: queue overflow / retries / radio off
   kReroute,         ///< Phase III parent failover (value = new parent)
   kBackupReport,    ///< backup reporter takeover (value = dead head)
+  kAdversaryAction, ///< compromised node deviated (value = attack class)
+  kAdversaryDetect, ///< hardening flagged an attack (value = accused id)
   kMaxCounter,      ///< sentinel: number of counters
 };
 

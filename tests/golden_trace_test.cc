@@ -200,5 +200,65 @@ TEST_F(GoldenTraceTest, ExcerptMatchesGoldenLineForLine) {
   FAIL() << "excerpts differ but no diverging line found (trailing bytes?)";
 }
 
+// Second pinned scenario: the SAME 30-node deployment with 10% of the
+// nodes compromised (pollution attack) and the hardening switched on.
+// Pins the adversary interception sites, the detection machinery and
+// the epoch-tag wire format the same way the benign digest pins the
+// honest path — any drift in attack scheduling or hardening logic
+// lands here without disturbing tests/golden/trace_digest.txt.
+TEST(GoldenAdversaryTraceTest, AdversarialDigestMatchesGolden) {
+  constexpr char kAdversaryDigestFile[] =
+      ICPDA_GOLDEN_DIR "/trace_digest_adversary.txt";
+
+  net::NetworkConfig ncfg;
+  ncfg.node_count = 30;
+  ncfg.field_width_m = 120.0;
+  ncfg.field_height_m = 120.0;
+  ncfg.range_m = 50.0;
+  ncfg.seed = 0x601D;
+  net::Network network(ncfg);
+
+  sim::Tracer::Config tcfg;
+  tcfg.node_capacity = 16384;
+  tcfg.global_capacity = 16384;
+  network.enable_trace(tcfg);
+
+  const auto keys = crypto::MasterPairwiseScheme{crypto::Key::from_seed(0x601D)};
+  AdversaryPlan plan;
+  plan.attack = AttackClass::kPollution;
+  plan.compromised = {3, 13, 23};  // 3 of 30 sensors: the 10% scenario
+  AdversaryState st;
+  for (std::uint32_t e = 1; e <= 2; ++e) {
+    IcpdaConfig cfg;
+    cfg.hardening.epoch_tag = e;
+    cfg.hardening.digest_crosscheck = true;
+    cfg.hardening.attribute_withholders = true;
+    run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys, plan, st);
+  }
+  ASSERT_EQ(network.tracer().dropped(), 0u);
+  // The scenario is genuinely adversarial, not a benign run in costume.
+  EXPECT_GE(st.digests_forged, 1u);
+
+  const auto events = network.tracer().merged();
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(analysis::trace_digest(events)));
+  const std::string digest = std::string(hex) + "\n";
+
+  if (update_mode()) {
+    write_file(kAdversaryDigestFile, digest);
+    GTEST_SKIP() << "adversarial golden digest regenerated: "
+                 << kAdversaryDigestFile;
+  }
+  const std::string golden = read_file(kAdversaryDigestFile);
+  ASSERT_FALSE(golden.empty()) << kAdversaryDigestFile
+                               << " missing — regenerate with ICPDA_UPDATE_GOLDEN=1";
+  EXPECT_EQ(digest, golden)
+      << "adversarial trace digest drifted. If the adversary/hardening\n"
+      << "change is intentional, regenerate with ICPDA_UPDATE_GOLDEN=1 and\n"
+      << "review the tests/golden/ diff. First events now produced:\n"
+      << analysis::trace_excerpt(events, 10);
+}
+
 }  // namespace
 }  // namespace icpda::core

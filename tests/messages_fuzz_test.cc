@@ -7,13 +7,42 @@
 // Labelled `slow` in CTest alongside the property suites.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <optional>
 #include <vector>
 
 #include "core/cpda_algebra.h"
 #include "proto/messages.h"
 #include "sim/rng.h"
+
+// ---- Global allocation counter --------------------------------------
+// The epoch-freshness gate promises to reject stale frames WITHOUT
+// running any decoder — i.e. without allocating. Replacing the global
+// operators with counting malloc shims makes that promise testable;
+// every other test in this binary just pays one relaxed increment.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs `new` expressions with these replaced operators and then
+// flags the malloc/free crossover the replacement is deliberately
+// built on — silence just that heuristic here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace icpda::proto {
 namespace {
@@ -97,6 +126,8 @@ TEST(MessagesFuzzTest, ReportMsg) {
     m.aggregate.merge(m.items.back().value);
   }
   fuzz_codec(m, rng, "ReportMsg");
+  m.epoch_tag = 0xDEADBEEF;
+  fuzz_codec(m, rng, "ReportMsg+tag");
 }
 
 TEST(MessagesFuzzTest, ClusterHelloMsg) {
@@ -126,6 +157,8 @@ TEST(MessagesFuzzTest, ClusterRosterMsg) {
   m.members = {42, 8, 9, 11};
   m.seeds = {1, 3, 2, 4};
   fuzz_codec(m, rng, "ClusterRosterMsg");
+  m.epoch_tag = 2;
+  fuzz_codec(m, rng, "ClusterRosterMsg+tag");
 }
 
 TEST(MessagesFuzzTest, ShareMsg) {
@@ -136,6 +169,8 @@ TEST(MessagesFuzzTest, ShareMsg) {
   m.recipient = 9;
   m.sealed = random_bytes(rng, 64);
   fuzz_codec(m, rng, "ShareMsg");
+  m.epoch_tag = 0xFFFFFFFF;
+  fuzz_codec(m, rng, "ShareMsg+tag");
 }
 
 TEST(MessagesFuzzTest, FAnnounceMsg) {
@@ -148,6 +183,8 @@ TEST(MessagesFuzzTest, FAnnounceMsg) {
   m.f = random_aggregate(rng);
   m.contributors = {8, 9, 11, 42};
   fuzz_codec(m, rng, "FAnnounceMsg");
+  m.epoch_tag = 7;
+  fuzz_codec(m, rng, "FAnnounceMsg+tag");
 }
 
 TEST(MessagesFuzzTest, ClusterDigestMsg) {
@@ -159,6 +196,8 @@ TEST(MessagesFuzzTest, ClusterDigestMsg) {
   for (int i = 0; i < 3; ++i) m.f_values.push_back(random_aggregate(rng));
   m.contributors = {8, 9, 42};
   fuzz_codec(m, rng, "ClusterDigestMsg");
+  m.epoch_tag = 3;
+  fuzz_codec(m, rng, "ClusterDigestMsg+tag");
 }
 
 TEST(MessagesFuzzTest, AlarmMsg) {
@@ -171,6 +210,8 @@ TEST(MessagesFuzzTest, AlarmMsg) {
   m.expected_sum = 123.456;
   m.observed_sum = -7.5;
   fuzz_codec(m, rng, "AlarmMsg");
+  m.epoch_tag = 11;
+  fuzz_codec(m, rng, "AlarmMsg+tag");
 }
 
 TEST(MessagesFuzzTest, SliceMsg) {
@@ -190,6 +231,51 @@ TEST(MessagesFuzzTest, ShareBody) {
   m.round = 1;
   m.share = random_aggregate(rng);
   fuzz_codec(m, rng, "ShareBody");
+  m.epoch_tag = 5;  // sealed copy of the freshness tag (field rides LAST)
+  fuzz_codec(m, rng, "ShareBody+tag");
+}
+
+// A stale-epoch frame must be rejectable BEFORE any decoder runs:
+// peek_epoch_tag / epoch_tag_stale walk the raw bytes and allocate
+// nothing, so a replay flood cannot cost the receiver heap churn.
+TEST(MessagesFuzzTest, StaleTagRejectionDoesNotAllocate) {
+  sim::Rng rng(14);
+  std::vector<net::Bytes> payloads;
+  {
+    ClusterRosterMsg roster;
+    roster.members = {42, 8, 9};
+    roster.seeds = {1, 2, 3};
+    roster.epoch_tag = 7;
+    payloads.push_back(roster.to_bytes());
+    FAnnounceMsg f;
+    f.f = random_aggregate(rng);
+    f.contributors = {8, 9};
+    f.epoch_tag = 7;
+    payloads.push_back(f.to_bytes());
+    ReportMsg r;
+    r.items.push_back(ReportItem{1, random_aggregate(rng)});
+    r.epoch_tag = 7;
+    payloads.push_back(r.to_bytes());
+    AlarmMsg a;
+    a.epoch_tag = 7;
+    payloads.push_back(a.to_bytes());
+    payloads.push_back(random_bytes(rng, 64));  // junk: peek must cope
+    payloads.push_back({});                     // empty payload
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  std::uint64_t stale = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (const net::Bytes& p : payloads) {
+      (void)peek_epoch_tag(p);
+      if (epoch_tag_stale(p, 8)) ++stale;   // every tagged frame is stale
+      if (epoch_tag_stale(p, 7)) ++stale;   // untagged ones still fail 7
+    }
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "freshness gate allocated on the hot rejection path";
+  // 4 tagged payloads stale vs 8, plus junk/empty failing both gates.
+  EXPECT_EQ(stale, 1000u * (4 + 2 * 2));
 }
 
 // Cross-type confusion: a valid encoding of every type fed to every
