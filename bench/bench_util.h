@@ -47,6 +47,7 @@ enum class Experiment : std::uint64_t {
   kAdaptivePc = 17,         // A4
   kFault = 18,              // F9
   kAttack = 19,             // A5: Byzantine adversary suite
+  kService = 20,            // S1: continuous-query service under load
 };
 
 /// Monte-Carlo trials per configuration point.

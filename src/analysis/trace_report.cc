@@ -52,6 +52,9 @@ void add_counter(PhaseStat& stat, TraceCounter c, std::uint64_t value) {
     case TraceCounter::kBackupReport:
     case TraceCounter::kAdversaryAction:
     case TraceCounter::kAdversaryDetect:
+    case TraceCounter::kQueryLaunch:
+    case TraceCounter::kQueryComplete:
+    case TraceCounter::kQueryDrop:
     case TraceCounter::kMaxCounter:
       break;  // occurrence counters: no byte bucket
   }

@@ -25,6 +25,12 @@ struct IcpdaConfig {
   std::uint32_t query_id = 1;
   proto::TreeTiming timing;
 
+  /// Stamp query_id as the span tag (TraceEvent::value of begin events)
+  /// on every protocol phase span, so overlapping queries' latency
+  /// decomposes per query in the trace. Off by default: single-query
+  /// runs keep the tag at 0 and their golden digests unchanged.
+  bool trace_query_spans = false;
+
   /// Cluster-head self-election probability on hearing the query.
   double pc = 0.3;
 

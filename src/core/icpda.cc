@@ -30,7 +30,7 @@ void IcpdaApp::start(net::Node& node) {
   node.schedule(sim::seconds(config_.timing.start_delay_s), [this, &node] {
     // The BS opens the epoch: its query flood is Phase I traffic.
     node.tracer().switch_phase(node.id(), sim::TracePhase::kClusterFormation,
-                               node.now());
+                               node.now(), span_tag());
     HelloMsg hello;
     hello.query_id = config_.query_id;
     hello.hop = 0;
@@ -111,7 +111,7 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
   // First valid query copy: the node is in Phase I from here until its
   // roster settles (switch_phase is a no-op on later copies).
   node.tracer().switch_phase(node.id(), sim::TracePhase::kClusterFormation,
-                             node.now());
+                             node.now(), span_tag());
 
   if (frame.src != 0) hello_sources_.insert(frame.src);
 
@@ -124,7 +124,7 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
     HelloMsg rebroadcast = *hello;
     rebroadcast.hop = static_cast<std::uint16_t>(hello->hop + 1);
     const auto jitter =
-        sim::seconds(node.rng().uniform(0.0, config_.timing.hello_jitter_s));
+        sim::seconds(rng(node).uniform(0.0, config_.timing.hello_jitter_s));
     node.schedule(jitter, [&node, payload = rebroadcast.to_bytes()]() mutable {
       node.broadcast(proto::kHello, std::move(payload));
     });
@@ -173,7 +173,7 @@ void IcpdaApp::handle_hello(net::Node& node, const net::Frame& frame) {
                           adversary_->attack == AttackClass::kPollution);
   const bool adv_avoids = attacking(AttackClass::kWithhold, node);
   if (grabs_role || adv_grabs ||
-      (!adv_avoids && !config_.adaptive_pc && node.rng().bernoulli(config_.pc))) {
+      (!adv_avoids && !config_.adaptive_pc && rng(node).bernoulli(config_.pc))) {
     become_head(node);
   } else {
     node.schedule(sim::seconds(config_.join_delay_s),
@@ -195,14 +195,14 @@ void IcpdaApp::become_head(net::Node& node) {
   msg.head = node.id();
   msg.hop = hop_;
   const auto jitter =
-      sim::seconds(node.rng().uniform(0.0, config_.timing.hello_jitter_s));
+      sim::seconds(rng(node).uniform(0.0, config_.timing.hello_jitter_s));
   node.schedule(jitter, [&node, payload = msg.to_bytes()]() mutable {
     node.broadcast(proto::kClusterHello, std::move(payload));
   });
   // Stagger roster closing across heads so the cluster phases of
   // neighbouring clusters do not all contend at the same instants.
   node.schedule(jitter + sim::seconds(config_.roster_delay_s +
-                                      node.rng().uniform(0.0, 0.4)),
+                                      rng(node).uniform(0.0, 0.4)),
                 [this, &node] { close_roster(node); });
 }
 
@@ -229,14 +229,14 @@ void IcpdaApp::handle_cluster_hello(net::Node& node, const net::Frame& frame) {
 
 void IcpdaApp::send_join(net::Node& node) {
   // Join a uniformly random cluster among those heard (CPDA rule).
-  chosen_head_ = heard_heads_[node.rng().below(heard_heads_.size())];
+  chosen_head_ = heard_heads_[rng(node).below(heard_heads_.size())];
   role_ = ClusterRole::kMember;
   ++join_attempts_;
   JoinMsg join;
   join.query_id = config_.query_id;
   join.member = node.id();
   join.head = chosen_head_;
-  const auto jitter = sim::seconds(node.rng().uniform(0.0, config_.join_jitter_s));
+  const auto jitter = sim::seconds(rng(node).uniform(0.0, config_.join_jitter_s));
   node.schedule(jitter, [this, &node, payload = join.to_bytes()]() mutable {
     node.send(chosen_head_, proto::kJoin, std::move(payload));
   });
@@ -306,7 +306,7 @@ void IcpdaApp::decide_role(net::Node& node, std::uint32_t round) {
           : config_.pc;
   // Withholders never self-elect (see handle_hello); the final-round
   // lone-head fallback above still applies so they stay reachable.
-  if (!attacking(AttackClass::kWithhold, node) && node.rng().bernoulli(pc_eff)) {
+  if (!attacking(AttackClass::kWithhold, node) && rng(node).bernoulli(pc_eff)) {
     become_head(node);
     return;
   }
@@ -364,7 +364,7 @@ void IcpdaApp::close_roster(net::Node& node) {
   const std::size_t cap =
       std::max<std::size_t>(1, config_.max_cluster_size) - 1;
   if (joiners_.size() > cap) {
-    node.rng().shuffle(joiners_);  // fairness: no id bias in who stays
+    rng(node).shuffle(joiners_);  // fairness: no id bias in who stays
     node.metrics().add("icpda.joiners_rejected", joiners_.size() - cap);
     joiners_.resize(cap);
   }
@@ -401,7 +401,7 @@ void IcpdaApp::close_roster(net::Node& node) {
   // permutation just avoids structural correlation with node ids).
   std::vector<std::uint32_t> seeds(m);
   for (std::size_t i = 0; i < m; ++i) seeds[i] = static_cast<std::uint32_t>(i + 1);
-  node.rng().shuffle(seeds);
+  rng(node).shuffle(seeds);
   roster.seeds = seeds;
 
   // The roster broadcast has no ARQ: repeat it (members act on the
@@ -409,7 +409,7 @@ void IcpdaApp::close_roster(net::Node& node) {
   for (std::uint32_t rep = 0; rep < std::max<std::uint32_t>(1, config_.roster_repeats);
        ++rep) {
     const auto at = sim::seconds(static_cast<double>(rep) * 0.04 +
-                                 node.rng().uniform(0.0, 0.02));
+                                 rng(node).uniform(0.0, 0.02));
     node.schedule(at, [&node, payload = roster.to_bytes()]() mutable {
       node.broadcast(proto::kClusterRoster, std::move(payload));
     });
@@ -421,11 +421,11 @@ void IcpdaApp::close_roster(net::Node& node) {
   if (cluster_.set_roster(node.id(), roster.members, roster.seeds, node.id())) {
     if (attacking(AttackClass::kDisclosure, node)) observe_roster(node);
     node.tracer().switch_phase(node.id(), sim::TracePhase::kShareExchange,
-                               node.now());
+                               node.now(), span_tag());
     monitor_.set_target(node.id());
     const std::size_t cluster_m = cluster_.size();
     const auto jitter =
-        sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
+        sim::seconds(rng(node).uniform(0.0, config_.share_window_s(cluster_m)));
     node.schedule(jitter, [this, &node] { send_shares(node); });
     node.schedule(sim::seconds(config_.assemble_at_s(cluster_m)),
                   [this, &node] { announce_f(node); });
@@ -477,17 +477,17 @@ void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
   monitor_.set_target(roster->head);
   node.metrics().add("icpda.member");
   node.tracer().switch_phase(node.id(), sim::TracePhase::kShareExchange,
-                             node.now());
+                             node.now(), span_tag());
 
   // Shares that raced ahead of our roster copy are valid now.
   replay_early_shares();
 
   const std::size_t cluster_m = cluster_.size();
   const auto jitter =
-      sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
+      sim::seconds(rng(node).uniform(0.0, config_.share_window_s(cluster_m)));
   node.schedule(jitter, [this, &node] { send_shares(node); });
   const auto announce_at = sim::seconds(
-      config_.assemble_at_s(cluster_m) + node.rng().uniform(0.0, config_.f_jitter_s));
+      config_.assemble_at_s(cluster_m) + rng(node).uniform(0.0, config_.f_jitter_s));
   node.schedule(announce_at, [this, &node] { announce_f(node); });
   // If the head dies before a digest reaches us, stop waiting: a
   // member with no endorsed cluster sum by this deadline has no value
@@ -513,7 +513,7 @@ void IcpdaApp::digest_deadline(net::Node& node) {
   // in no cluster sum. Stand down instead of hanging as a half-armed
   // witness; tree forwarding duties continue regardless of role.
   node.metrics().add("icpda.digest_missed");
-  node.tracer().switch_phase(node.id(), sim::TracePhase::kReport, node.now());
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kReport, node.now(), span_tag());
   role_ = ClusterRole::kUnclustered;
   if (outcome_) {
     ++outcome_->unclustered;
@@ -550,15 +550,15 @@ void IcpdaApp::handle_recovery_roster(net::Node& node, const ClusterRosterMsg& r
   my_f_contributors_.clear();
   replay_early_shares();
   node.metrics().add("icpda.recovery_roster");
-  node.tracer().switch_phase(node.id(), sim::TracePhase::kRecovery, node.now());
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kRecovery, node.now(), span_tag());
 
   // Rerun the exchange at the reduced degree on the recovery clock.
   const std::size_t cluster_m = cluster_.size();
   const auto jitter =
-      sim::seconds(node.rng().uniform(0.0, config_.share_window_s(cluster_m)));
+      sim::seconds(rng(node).uniform(0.0, config_.share_window_s(cluster_m)));
   node.schedule(jitter, [this, &node] { send_shares(node); });
   const auto announce_at = sim::seconds(
-      config_.assemble_at_s(cluster_m) + node.rng().uniform(0.0, config_.f_jitter_s));
+      config_.assemble_at_s(cluster_m) + rng(node).uniform(0.0, config_.f_jitter_s));
   node.schedule(announce_at, [this, &node] { announce_f(node); });
 }
 
@@ -568,7 +568,7 @@ void IcpdaApp::handle_recovery_roster(net::Node& node, const ClusterRosterMsg& r
 void IcpdaApp::send_shares(net::Node& node) {
   const Aggregate contribution = Aggregate::of(readings_(node.id()));
   const auto seeds = cluster_.seed_values();
-  auto shares = make_shares(contribution, seeds, node.rng(), config_.coeff_scale);
+  auto shares = make_shares(contribution, seeds, rng(node), config_.coeff_scale);
   const auto& members = cluster_.members();
 
   cluster_.set_kept_share(shares[cluster_.my_index()]);
@@ -603,7 +603,7 @@ void IcpdaApp::send_shares(net::Node& node) {
     msg.sender = node.id();
     msg.recipient = peer;
     msg.epoch_tag = config_.hardening.epoch_tag;
-    msg.sealed = crypto::seal(*key, node.rng()(), body.to_bytes());
+    msg.sealed = crypto::seal(*key, rng(node)(), body.to_bytes());
     // Cluster members are all within range of the head but not
     // necessarily of each other (the cluster is a star): member-to-
     // member shares are relayed through the head. The share is sealed
@@ -772,7 +772,7 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
   monitor_.set_cluster_sum(*v);
   node.metrics().add("icpda.cluster_solved");
   node.tracer().switch_phase(node.id(), sim::TracePhase::kHeadAggregation,
-                             node.now());
+                             node.now(), span_tag());
 
   // Consolidated digest so every member can verify & solve too.
   ClusterDigestMsg digest;
@@ -786,7 +786,7 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
 
   for (std::uint32_t r = 0; r < std::max<std::uint32_t>(1, config_.f_repeats); ++r) {
     const auto jitter = sim::seconds(
-        node.rng().uniform(0.0, config_.share_jitter_s) +
+        rng(node).uniform(0.0, config_.share_jitter_s) +
         static_cast<double>(r) * 0.03);
     node.schedule(jitter, [&node, payload = digest.to_bytes()]() mutable {
       node.broadcast(proto::kClusterDigest, std::move(payload));
@@ -798,7 +798,7 @@ void IcpdaApp::solve_and_digest(net::Node& node) {
 void IcpdaApp::start_phase2_recovery(net::Node& node) {
   recovery_started_ = true;
   node.metrics().add("icpda.phase2_recovery");
-  node.tracer().switch_phase(node.id(), sim::TracePhase::kRecovery, node.now());
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kRecovery, node.now(), span_tag());
 
   // Survivors: members whose F arrived (proof of life past the
   // assemble deadline), keeping roster order and their original seeds
@@ -861,7 +861,7 @@ void IcpdaApp::start_phase2_recovery(net::Node& node) {
   for (std::uint32_t rep = 0; rep < std::max<std::uint32_t>(1, config_.roster_repeats);
        ++rep) {
     const auto at = sim::seconds(static_cast<double>(rep) * 0.04 +
-                                 node.rng().uniform(0.0, 0.02));
+                                 rng(node).uniform(0.0, 0.02));
     node.schedule(at, [&node, payload = roster.to_bytes()]() mutable {
       node.broadcast(proto::kClusterRoster, std::move(payload));
     });
@@ -875,7 +875,7 @@ void IcpdaApp::start_phase2_recovery(net::Node& node) {
   my_f_contributors_.clear();
 
   const auto jitter =
-      sim::seconds(node.rng().uniform(0.0, config_.share_window_s(m)));
+      sim::seconds(rng(node).uniform(0.0, config_.share_window_s(m)));
   node.schedule(jitter, [this, &node] { send_shares(node); });
   node.schedule(sim::seconds(config_.assemble_at_s(m)),
                 [this, &node] { announce_f(node); });
@@ -924,7 +924,7 @@ void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
   monitor_.set_cluster_sum(*v);
   node.metrics().add("icpda.witness_armed");
   node.tracer().switch_phase(node.id(), sim::TracePhase::kPeerMonitoring,
-                             node.now());
+                             node.now(), span_tag());
 
   // Head failover: the first member after the head in roster order is
   // the designated backup reporter for the endorsed cluster sum.
@@ -945,7 +945,7 @@ void IcpdaApp::arm_backup_reporter(net::Node& node) {
                                  config_.timing.report_delay(0);
   const auto probe_at = last_slot - sim::seconds(config_.backup_probe_lead_s);
   const auto report_at = last_slot + sim::seconds(config_.backup_slot_slack_s +
-                                                  node.rng().uniform(0.0, 0.05));
+                                                  rng(node).uniform(0.0, 0.05));
   const auto now = node.now();
   node.schedule(probe_at > now ? probe_at - now : sim::SimTime{}, [this, &node] {
     if (head_report_seen_ || role_ != ClusterRole::kMember || !f_sent_) return;
@@ -1011,6 +1011,7 @@ void IcpdaApp::handle_report(net::Node& node, const net::Frame& frame) {
     }
     pending_.merge(report->aggregate);
     items_.push_back(proto::ReportItem{report->reporter, report->aggregate});
+    if (outcome_) outcome_->last_report_at = node.now();
     node.metrics().add("icpda.report_at_bs");
     return;
   }
@@ -1082,7 +1083,7 @@ void IcpdaApp::send_report(net::Node& node) {
   reported_ = true;
   // The report slot opens Phase III for every tree node: heads
   // originate, everyone else is on pure forwarding duty from here.
-  node.tracer().switch_phase(node.id(), sim::TracePhase::kReport, node.now());
+  node.tracer().switch_phase(node.id(), sim::TracePhase::kReport, node.now(), span_tag());
 
   if (role_ != ClusterRole::kHead) {
     // Members and unclustered nodes originate nothing: their readings
@@ -1247,7 +1248,7 @@ void IcpdaApp::on_send_failed(net::Node& node, const net::Frame& frame) {
       // No backup available: give the same parent its retry after all.
     }
     node.schedule(
-        sim::seconds(0.1 + node.rng().uniform(0.0, 0.1)),
+        sim::seconds(0.1 + rng(node).uniform(0.0, 0.1)),
         [this, &node, reporter = exp.reporter, payload = exp.payload, attempt] {
           node.send(parent_, proto::kClusterReport, payload);
           if (parent_ != 0) expect_forward(node, reporter, payload, attempt);
@@ -1297,7 +1298,7 @@ bool IcpdaApp::reroute_to_backup(net::Node& node) {
 
 void IcpdaApp::redispatch(net::Node& node, const net::Bytes& payload) {
   const auto backoff = sim::seconds(
-      config_.reroute_backoff_s * (1.0 + node.rng().uniform(0.0, 1.0)));
+      config_.reroute_backoff_s * (1.0 + rng(node).uniform(0.0, 1.0)));
   node.schedule(backoff, [this, &node, payload] {
     const auto report = ReportMsg::from_bytes(payload);
     if (!report) return;
@@ -1482,8 +1483,8 @@ void IcpdaApp::schedule_replays(net::Node& node) {
     // else goes out mid-Phase II. Copy the capture into the closure —
     // the vector may grow while these callbacks are pending.
     const double at = cap.type == proto::kClusterReport
-                          ? config_.phase2_budget_s + node.rng().uniform(0.0, 0.4)
-                          : 0.6 + node.rng().uniform(0.0, 0.6);
+                          ? config_.phase2_budget_s + rng(node).uniform(0.0, 0.4)
+                          : 0.6 + rng(node).uniform(0.0, 0.6);
     node.schedule(sim::seconds(at), [this, &node, type = cap.type, dst = cap.dst,
                                      payload = cap.payload] {
       ++adv_->replays_injected;

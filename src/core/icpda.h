@@ -52,6 +52,9 @@ namespace icpda::core {
 struct IcpdaOutcome {
   std::optional<proto::Aggregate> result;
   sim::SimTime closed_at;
+  /// When the last report merged at the base station (zero if none):
+  /// the settle time, vs closed_at which is the fixed epoch deadline.
+  sim::SimTime last_report_at;
   std::vector<proto::AlarmMsg> alarms;
   /// Value-tamper alarms whose |expected - observed| exceeded Th.
   std::uint32_t significant_alarms = 0;
@@ -103,7 +106,7 @@ class IcpdaApp final : public net::App {
   IcpdaApp(IcpdaConfig config, proto::ReadingProvider readings,
            const crypto::KeyScheme* keys, const AttackPlan* attack,
            IcpdaOutcome* outcome, const AdversaryPlan* adversary = nullptr,
-           AdversaryState* adv = nullptr)
+           AdversaryState* adv = nullptr, sim::Rng* rng_override = nullptr)
       : config_(config),
         readings_(std::move(readings)),
         keys_(keys),
@@ -111,6 +114,7 @@ class IcpdaApp final : public net::App {
         outcome_(outcome),
         adversary_(adversary),
         adv_(adv),
+        rng_override_(rng_override),
         monitor_(WitnessMonitor::Config{config.witness_tolerance,
                                         config.alarm_on_omission,
                                         config.omission_guard_s}) {}
@@ -205,6 +209,20 @@ class IcpdaApp final : public net::App {
   /// Hardened digest cross-check (all receivers, incl. foreign heads).
   void crosscheck_digest(net::Node& node, const proto::ClusterDigestMsg& digest);
 
+  /// Protocol randomness: the node's own substream by default. The
+  /// service layer injects a per-(node, query) override so each query's
+  /// draws are a function of (seed, node, query) alone — independent of
+  /// how many other queries share the node's substream — which is what
+  /// makes pipelined and serial executions of the same query set
+  /// byte-comparable.
+  [[nodiscard]] sim::Rng& rng(net::Node& node) {
+    return rng_override_ != nullptr ? *rng_override_ : node.rng();
+  }
+  /// Span tag for phase spans (query id when trace_query_spans is on).
+  [[nodiscard]] std::uint64_t span_tag() const {
+    return config_.trace_query_spans ? config_.query_id : 0;
+  }
+
   IcpdaConfig config_;
   proto::ReadingProvider readings_;
   const crypto::KeyScheme* keys_;
@@ -212,6 +230,7 @@ class IcpdaApp final : public net::App {
   IcpdaOutcome* outcome_;
   const AdversaryPlan* adversary_ = nullptr;
   AdversaryState* adv_ = nullptr;
+  sim::Rng* rng_override_ = nullptr;
   /// digest_crosscheck: head id -> F sum it self-announced on the air.
   std::map<net::NodeId, double> head_f_seen_;
 

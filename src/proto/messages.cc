@@ -28,6 +28,16 @@ void check_count(const net::WireReader& r, std::uint32_t n,
 }
 }  // namespace
 
+// ---- QueryId wire invariant -----------------------------------------
+
+std::uint32_t peek_query_id(const net::Bytes& payload) {
+  if (payload.size() < kQueryIdBytes) return 0;
+  return static_cast<std::uint32_t>(payload[0]) |
+         static_cast<std::uint32_t>(payload[1]) << 8 |
+         static_cast<std::uint32_t>(payload[2]) << 16 |
+         static_cast<std::uint32_t>(payload[3]) << 24;
+}
+
 // ---- Epoch-freshness tag --------------------------------------------
 
 void write_epoch_tag(net::WireWriter& w, std::uint32_t tag) {

@@ -31,6 +31,27 @@ enum MsgType : net::FrameType {
   kClusterDigest = 12, ///< iCPDA II: head's consolidated F vector
 };
 
+// ---- QueryId wire invariant (continuous-query multiplexing) ---------
+//
+// Every payload in this catalogue begins with the message's query id as
+// a little-endian u32 — the first four bytes of ANY valid encoding name
+// the query the frame belongs to, for every frame type, in every phase.
+// That invariant is what lets the service layer (src/service/) demux
+// overlapping epochs without decoding: one allocation-free peek routes
+// the frame to the right per-query protocol instance, and frames for
+// unknown/retired queries are dropped before any decoder runs. The
+// single-query binaries never call the peek, so their wire bytes and
+// behaviour are untouched. Covered by tests/messages_fuzz_test.cc
+// (QueryIdPeek*): the peek never crashes, never allocates, and agrees
+// with the decoded `query_id` field on every valid encoding.
+
+inline constexpr std::size_t kQueryIdBytes = 4;  // LE u32 payload prefix
+
+/// Allocation-free peek at an encoded payload's query id. Returns 0 for
+/// payloads too short to carry the prefix (0 is never a service query
+/// id — the dispatcher assigns ids from 1).
+[[nodiscard]] std::uint32_t peek_query_id(const net::Bytes& payload);
+
 // ---- Epoch-freshness tag (replay hardening) -------------------------
 //
 // When core::HardeningConfig::epoch_tag is non-zero, every Phase II/III

@@ -32,6 +32,9 @@ const char* trace_counter_name(TraceCounter c) {
     case TraceCounter::kBackupReport: return "backup_report";
     case TraceCounter::kAdversaryAction: return "adversary_action";
     case TraceCounter::kAdversaryDetect: return "adversary_detect";
+    case TraceCounter::kQueryLaunch: return "query_launch";
+    case TraceCounter::kQueryComplete: return "query_complete";
+    case TraceCounter::kQueryDrop: return "query_drop";
     case TraceCounter::kMaxCounter: break;
   }
   return "invalid";
@@ -155,7 +158,8 @@ void Tracer::end_span(std::uint32_t node, TracePhase phase, SimTime t,
                           static_cast<std::uint8_t>(phase), 0});
 }
 
-void Tracer::switch_phase(std::uint32_t node, TracePhase phase, SimTime t) {
+void Tracer::switch_phase(std::uint32_t node, TracePhase phase, SimTime t,
+                          std::uint64_t value) {
   if (!enabled() || node >= stacks_.size()) return;
   if (current_phase(node) == phase) return;
   SpanStack& st = stacks_[node];
@@ -165,7 +169,7 @@ void Tracer::switch_phase(std::uint32_t node, TracePhase phase, SimTime t) {
                             TraceEvent::Kind::kEnd,
                             static_cast<std::uint8_t>(st.frames[st.depth]), 0});
   }
-  begin_span(node, phase, t);
+  begin_span(node, phase, t, value);
 }
 
 void Tracer::counter(std::uint32_t node, TraceCounter c, std::uint64_t value,

@@ -70,6 +70,9 @@ enum class TraceCounter : std::uint8_t {
   kBackupReport,    ///< backup reporter takeover (value = dead head)
   kAdversaryAction, ///< compromised node deviated (value = attack class)
   kAdversaryDetect, ///< hardening flagged an attack (value = accused id)
+  kQueryLaunch,     ///< service dispatcher launched a query (value = query id)
+  kQueryComplete,   ///< service query closed at the BS (value = query id)
+  kQueryDrop,       ///< service admission dropped a query (value = query id)
   kMaxCounter,      ///< sentinel: number of counters
 };
 
@@ -166,8 +169,12 @@ class Tracer {
 
   /// End the current phase (if any) and begin `phase`: the one-liner
   /// protocol code uses for sequential phase transitions. No-op if the
-  /// node is already in `phase`.
-  void switch_phase(std::uint32_t node, TracePhase phase, SimTime t);
+  /// node is already in `phase`. `value` tags the opened span (the
+  /// service layer stamps the query id so per-query latency decomposes
+  /// by phase); single-query runs leave it zero, keeping their digests
+  /// unchanged.
+  void switch_phase(std::uint32_t node, TracePhase phase, SimTime t,
+                    std::uint64_t value = 0);
 
   /// Record a typed counter event, attributed to the node's current
   /// phase at record time.

@@ -278,6 +278,123 @@ TEST(MessagesFuzzTest, StaleTagRejectionDoesNotAllocate) {
   EXPECT_EQ(stale, 1000u * (4 + 2 * 2));
 }
 
+// QueryId wire invariant (the service mux's routing contract): for
+// EVERY valid encoding of every message type, peek_query_id must agree
+// with the encoded query_id — and must survive truncation, corruption
+// and garbage without crashing or allocating (it runs per frame per
+// node before any decoder).
+TEST(MessagesFuzzTest, PeekQueryIdAgreesWithEveryCodecAndNeverAllocates) {
+  sim::Rng rng(15);
+  // Query ids spanning the interesting encodings: small service ids,
+  // byte-boundary values, and the max (0 is the "unreadable" sentinel,
+  // exercised separately below).
+  const std::uint32_t ids[] = {1, 2, 0x7F, 0x80, 0xFF, 0x100, 0xABCD1234,
+                               0xFFFFFFFF};
+  std::vector<net::Bytes> wires;
+  for (const std::uint32_t qid : ids) {
+    HelloMsg h;
+    h.query_id = qid;
+    h.allowed_mask = random_bytes(rng, 16);
+    wires.push_back(h.to_bytes());
+    TagReportMsg t;
+    t.query_id = qid;
+    t.aggregate = random_aggregate(rng);
+    wires.push_back(t.to_bytes());
+    ReportMsg r;
+    r.query_id = qid;
+    r.items.push_back(ReportItem{1, random_aggregate(rng)});
+    r.epoch_tag = 5;
+    wires.push_back(r.to_bytes());
+    ClusterHelloMsg ch;
+    ch.query_id = qid;
+    wires.push_back(ch.to_bytes());
+    JoinMsg j;
+    j.query_id = qid;
+    wires.push_back(j.to_bytes());
+    ClusterRosterMsg cr;
+    cr.query_id = qid;
+    cr.members = {1, 2};
+    cr.seeds = {3, 4};
+    wires.push_back(cr.to_bytes());
+    ShareMsg s;
+    s.query_id = qid;
+    s.sealed = random_bytes(rng, 32);
+    wires.push_back(s.to_bytes());
+    FAnnounceMsg f;
+    f.query_id = qid;
+    f.f = random_aggregate(rng);
+    wires.push_back(f.to_bytes());
+    ClusterDigestMsg d;
+    d.query_id = qid;
+    wires.push_back(d.to_bytes());
+    AlarmMsg a;
+    a.query_id = qid;
+    wires.push_back(a.to_bytes());
+    SliceMsg sl;
+    sl.query_id = qid;
+    sl.sealed = random_bytes(rng, 16);
+    wires.push_back(sl.to_bytes());
+  }
+
+  // Agreement with the decoded id on every valid wire (spot-check via
+  // the Hello decode; all codecs share the id-first layout, which is
+  // exactly what this test pins).
+  std::size_t w = 0;
+  for (const std::uint32_t qid : ids) {
+    for (int msg = 0; msg < 11; ++msg, ++w) {
+      EXPECT_EQ(peek_query_id(wires[w]), qid)
+          << "wire " << w << " does not lead with its query id";
+    }
+  }
+
+  // Hostile inputs: truncations below the prefix read 0 (unreadable),
+  // everything else reads *something* without crashing.
+  for (const net::Bytes& wire : wires) {
+    for (std::size_t len = 0; len < kQueryIdBytes; ++len) {
+      const net::Bytes cut(wire.begin(),
+                           wire.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_EQ(peek_query_id(cut), 0u);
+    }
+    net::Bytes mut = wire;
+    mut[rng.below(mut.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    EXPECT_NO_THROW((void)peek_query_id(mut));
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NO_THROW((void)peek_query_id(random_bytes(rng, 64)));
+  }
+
+  // The peek itself is allocation-free (same promise as the epoch-tag
+  // gate: routing a frame flood must not cost heap churn).
+  const std::uint64_t before = g_allocations.load();
+  std::uint64_t sink = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (const net::Bytes& wire : wires) sink += peek_query_id(wire);
+  }
+  EXPECT_GT(sink, 0u);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "peek_query_id allocated on the routing hot path";
+}
+
+// Legacy/untagged frames: encodings produced with the default query id
+// decode identically whether or not anyone peeks first — peeking is
+// observational and id 0 round-trips like any other field value.
+TEST(MessagesFuzzTest, UntaggedLegacyFramesDecodeIdentically) {
+  sim::Rng rng(16);
+  HelloMsg h;  // query_id left at its default of 0
+  h.allowed_mask = random_bytes(rng, 8);
+  const net::Bytes wire = h.to_bytes();
+  EXPECT_EQ(peek_query_id(wire), 0u);  // reads as "unreadable"/reserved
+  const auto decoded = HelloMsg::from_bytes(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->query_id, 0u);
+  EXPECT_EQ(decoded->to_bytes(), wire);
+  // Peeking does not perturb the payload or subsequent decodes.
+  (void)peek_query_id(wire);
+  const auto again = HelloMsg::from_bytes(wire);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->to_bytes(), wire);
+}
+
 // Cross-type confusion: a valid encoding of every type fed to every
 // OTHER decoder must not crash (frame types normally route payloads,
 // but a malicious sender controls the type byte independently).

@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-regression smoke over the bench_micro hot-kernel baseline.
+"""Perf-regression smoke over the bench_micro hot-kernel baselines.
 
 Runs bench_micro (google-benchmark JSON output), extracts the DES
-substrate kernels, and compares them against the checked-in baseline
-BENCH_PR4.json, printing a per-kernel wall-clock delta. The step is
-advisory by default (exit 0 regardless of deltas): CI runners have
-noisy clocks, so timing regressions are flagged for a human, not
-gated. Pass --max-regress PCT to turn it into a gate locally.
+substrate kernels, and compares them against the checked-in baselines
+(BENCH_PR4.json for the substrate kernels, BENCH_PR7.json for the
+continuous-query service pipeline), printing a per-kernel wall-clock
+delta. The step is advisory by default (exit 0 regardless of deltas):
+CI runners have noisy clocks, so timing regressions are flagged for a
+human, not gated. Pass --max-regress PCT to turn it into a gate
+locally.
 
-Regenerate the baseline on a quiet machine after an intentional perf
-change:
+--baseline may be repeated; all files are merged for the comparison.
+Regenerate one baseline on a quiet machine after an intentional perf
+change (--update requires exactly one --baseline and writes only the
+kernels the filter matched):
 
     python3 tools/perf_smoke.py --bench build/bench/bench_micro \
         --baseline BENCH_PR4.json --big-n --update
+    python3 tools/perf_smoke.py --bench build/bench/bench_micro \
+        --baseline BENCH_PR7.json --filter BM_ServicePipeline --update
 
 --big-n sets ICPDA_BIG_N=1 so the expensive T3 scaling points
 (BM_IcpdaEpoch/3000..5000, single-iteration) are registered too.
@@ -27,8 +33,11 @@ import sys
 # names and Arg lists are kept stable for this comparison).
 DEFAULT_FILTER = (
     "BM_SchedulerChurn|BM_SchedulerPushPop|BM_SchedulerCancel|"
-    "BM_ChannelBroadcastFanout|BM_IcpdaEpoch|BM_TopologyBuild"
+    "BM_ChannelBroadcastFanout|BM_IcpdaEpoch|BM_TopologyBuild|"
+    "BM_ServicePipeline"
 )
+
+DEFAULT_BASELINES = ["BENCH_PR4.json", "BENCH_PR7.json"]
 
 
 def run_bench(bench, bench_filter, big_n):
@@ -59,8 +68,9 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", default="build/bench/bench_micro",
                     help="path to the bench_micro binary")
-    ap.add_argument("--baseline", default="BENCH_PR4.json",
-                    help="checked-in baseline JSON")
+    ap.add_argument("--baseline", action="append", default=None,
+                    help="checked-in baseline JSON (repeatable; default "
+                         f"{' + '.join(DEFAULT_BASELINES)})")
     ap.add_argument("--filter", default=DEFAULT_FILTER,
                     help="google-benchmark regex of kernels to run")
     ap.add_argument("--big-n", action="store_true",
@@ -70,27 +80,36 @@ def main():
     ap.add_argument("--max-regress", type=float, default=None, metavar="PCT",
                     help="fail if any kernel slows by more than PCT percent")
     args = ap.parse_args()
+    baselines = args.baseline or DEFAULT_BASELINES
 
     current = run_bench(args.bench, args.filter, args.big_n)
     if not current:
         sys.exit("perf_smoke: benchmark filter matched nothing")
 
     if args.update:
+        if len(baselines) != 1:
+            sys.exit("perf_smoke: --update takes exactly one --baseline")
         doc = {
             "schema": "icpda-perf-baseline-v1",
-            "note": ("DES substrate hot-kernel baseline; regenerate with "
-                     "tools/perf_smoke.py --big-n --update on a quiet "
-                     "machine and review the diff"),
+            "note": ("Hot-kernel baseline; regenerate with "
+                     "tools/perf_smoke.py --update on a quiet machine "
+                     "and review the diff"),
             "benchmarks": current,
         }
-        with open(args.baseline, "w", encoding="utf-8") as fh:
+        with open(baselines[0], "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"perf_smoke: wrote {len(current)} kernels to {args.baseline}")
+        print(f"perf_smoke: wrote {len(current)} kernels to {baselines[0]}")
         return
 
-    with open(args.baseline, encoding="utf-8") as fh:
-        baseline = json.load(fh)["benchmarks"]
+    baseline = {}
+    for path in baselines:
+        with open(path, encoding="utf-8") as fh:
+            for name, entry in json.load(fh)["benchmarks"].items():
+                if name in baseline:
+                    sys.exit(f"perf_smoke: kernel {name} appears in more "
+                             f"than one baseline file")
+                baseline[name] = entry
 
     worst = 0.0
     width = max(len(n) for n in baseline)
