@@ -9,12 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/cpda_algebra.h"
 #include "core/icpda.h"
 #include "crypto/cipher.h"
+#include "crypto/keyring.h"
 #include "net/network.h"
 #include "net/topology.h"
 #include "service/dispatcher.h"
@@ -30,8 +32,12 @@ void BM_MakeShares(benchmark::State& state) {
   sim::Rng rng(1);
   const auto seeds = core::default_seeds(m);
   const auto value = proto::Aggregate::of(23.5);
+  // Arena entry point — what the protocol actually runs per member
+  // (the wrapping make_shares() adds one allocation per call).
+  std::vector<proto::Aggregate> shares;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::make_shares(value, seeds, rng));
+    core::make_shares_into(value, seeds, rng, shares);
+    benchmark::DoNotOptimize(shares.data());
   }
 }
 BENCHMARK(BM_MakeShares)->Arg(3)->Arg(5)->Arg(8);
@@ -52,14 +58,34 @@ void BM_SealOpen(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));
   const auto key = crypto::Key::from_seed(7);
   const crypto::Bytes plain(bytes, 0x5A);
+  // Arena entry points with warm buffers — the per-cluster-round path.
+  crypto::Bytes sealed;
+  crypto::Bytes opened;
   std::uint64_t nonce = 0;
   for (auto _ : state) {
-    const auto sealed = crypto::seal(key, ++nonce, plain);
-    benchmark::DoNotOptimize(crypto::open(key, sealed));
+    crypto::seal_into(key, ++nonce, plain, sealed);
+    benchmark::DoNotOptimize(crypto::open_into(key, sealed, opened));
+    benchmark::DoNotOptimize(opened.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
 }
 BENCHMARK(BM_SealOpen)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_LinkKeyBatch(benchmark::State& state) {
+  // One cached key schedule serving a whole member set, vs m
+  // independent link_key() sponge re-inits. m = 8 matches the largest
+  // specialized cluster size.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const crypto::MasterPairwiseScheme keys{crypto::Key::from_seed(11)};
+  std::vector<net::NodeId> members(m);
+  for (std::size_t i = 0; i < m; ++i) members[i] = static_cast<net::NodeId>(10 + i);
+  std::vector<std::optional<crypto::Key>> out;
+  for (auto _ : state) {
+    keys.link_keys(members[0], members, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LinkKeyBatch)->Arg(3)->Arg(8);
 
 void BM_Prf64(benchmark::State& state) {
   const auto key = crypto::Key::from_seed(9);

@@ -16,28 +16,61 @@ bool ClusterContext::set_roster(net::NodeId head, std::vector<std::uint32_t> mem
       if (seeds[i] == seeds[j]) return false;
     }
   }
+  // Validation passed: commit the roster and reset every arena. assign()
+  // reuses the vectors' capacity, so re-rostering a warm context (new
+  // epoch, Phase II recovery) allocates only if the roster grew.
+  const std::size_t m = members.size();
   head_ = head;
+  my_index_ = static_cast<std::size_t>(it - members.begin());
   members_ = std::move(members);
   seeds_ = std::move(seeds);
-  my_index_ = static_cast<std::size_t>(it - members_.begin());
+  by_id_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) by_id_[i] = static_cast<std::uint32_t>(i);
+  std::sort(by_id_.begin(), by_id_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return members_[a] < members_[b];
+  });
+  have_kept_ = false;
+  share_vals_.assign(m, proto::Aggregate{});
+  share_present_.assign(m, 0);
+  shares_count_ = 0;
+  ann_f_.assign(m, proto::Aggregate{});
+  ann_present_.assign(m, 0);
+  ann_count_ = 0;
+  ann_contribs_.resize(m);
+  for (auto& c : ann_contribs_) c.clear();
   return true;
 }
 
-std::optional<double> ClusterContext::seed_of(net::NodeId member) const {
-  const auto it = std::find(members_.begin(), members_.end(), member);
-  if (it == members_.end()) return std::nullopt;
-  return static_cast<double>(seeds_[static_cast<std::size_t>(it - members_.begin())]);
+std::size_t ClusterContext::index_of(net::NodeId member) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == member) return i;
+  }
+  return kNpos;
 }
 
-bool ClusterContext::in_roster(net::NodeId n) const {
-  return std::find(members_.begin(), members_.end(), n) != members_.end();
+std::optional<double> ClusterContext::seed_of(net::NodeId member) const {
+  const std::size_t i = index_of(member);
+  if (i == kNpos) return std::nullopt;
+  return static_cast<double>(seeds_[i]);
 }
+
+bool ClusterContext::in_roster(net::NodeId n) const { return index_of(n) != kNpos; }
 
 std::vector<double> ClusterContext::seed_values() const {
   std::vector<double> out(seeds_.size());
   std::transform(seeds_.begin(), seeds_.end(), out.begin(),
                  [](std::uint32_t s) { return static_cast<double>(s); });
   return out;
+}
+
+void ClusterContext::record_share(net::NodeId sender, const proto::Aggregate& share) {
+  const std::size_t i = index_of(sender);
+  if (i == kNpos) return;
+  if (!share_present_[i]) {
+    share_present_[i] = 1;
+    ++shares_count_;
+  }
+  share_vals_[i] = share;
 }
 
 proto::Aggregate ClusterContext::assemble(std::vector<std::uint32_t>& contributors) const {
@@ -47,9 +80,12 @@ proto::Aggregate ClusterContext::assemble(std::vector<std::uint32_t>& contributo
     f.merge(kept_share_);
     contributors.push_back(members_[my_index_]);
   }
-  for (const auto& [sender, share] : shares_in_) {
-    f.merge(share);
-    contributors.push_back(sender);
+  // Ascending sender id — the float merge order the map-based storage
+  // used, which the golden traces pin.
+  for (const std::uint32_t idx : by_id_) {
+    if (!share_present_[idx]) continue;
+    f.merge(share_vals_[idx]);
+    contributors.push_back(members_[idx]);
   }
   std::sort(contributors.begin(), contributors.end());
   return f;
@@ -57,54 +93,67 @@ proto::Aggregate ClusterContext::assemble(std::vector<std::uint32_t>& contributo
 
 void ClusterContext::record_announce(net::NodeId member, const proto::Aggregate& f,
                                      std::vector<std::uint32_t> contributors) {
-  if (!in_roster(member)) return;
+  const std::size_t i = index_of(member);
+  if (i == kNpos) return;
   std::sort(contributors.begin(), contributors.end());
-  announces_[member] = Announce{f, std::move(contributors)};
+  if (!ann_present_[i]) {
+    ann_present_[i] = 1;
+    ++ann_count_;
+  }
+  ann_f_[i] = f;
+  ann_contribs_[i] = std::move(contributors);
+}
+
+bool ClusterContext::announced(net::NodeId member) const {
+  const std::size_t i = index_of(member);
+  return i != kNpos && ann_present_[i] != 0;
+}
+
+std::size_t ClusterContext::reference_announcer() const {
+  for (const std::uint32_t idx : by_id_) {
+    if (ann_present_[idx]) return idx;
+  }
+  return kNpos;
 }
 
 bool ClusterContext::consistent() const {
-  if (announces_.empty()) return false;
-  const auto& reference = announces_.begin()->second.contributors;
+  const std::size_t ref = reference_announcer();
+  if (ref == kNpos) return false;
+  const auto& reference = ann_contribs_[ref];
   if (reference.empty()) return false;
-  return std::all_of(announces_.begin(), announces_.end(), [&](const auto& kv) {
-    return kv.second.contributors == reference;
-  });
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (ann_present_[i] && ann_contribs_[i] != reference) return false;
+  }
+  return true;
 }
 
 std::optional<proto::Aggregate> ClusterContext::solve() const {
   if (!complete() || !consistent()) return std::nullopt;
-  std::vector<proto::Aggregate> assembled(members_.size());
-  for (std::size_t j = 0; j < members_.size(); ++j) {
-    const auto it = announces_.find(members_[j]);
-    if (it == announces_.end()) return std::nullopt;
-    assembled[j] = it->second.f;
-  }
-  return solve_cluster_sum(seed_values(), assembled);
+  // complete() => every roster slot has announced, so ann_f_ already is
+  // the assembled vector in roster order.
+  return solve_cluster_sum(seed_values(), ann_f_);
 }
 
 std::vector<proto::Aggregate> ClusterContext::announced_f_values() const {
   std::vector<proto::Aggregate> out(members_.size());
   for (std::size_t j = 0; j < members_.size(); ++j) {
-    if (const auto it = announces_.find(members_[j]); it != announces_.end()) {
-      out[j] = it->second.f;
-    }
+    if (ann_present_[j]) out[j] = ann_f_[j];
   }
   return out;
 }
 
 std::vector<std::uint32_t> ClusterContext::contributor_set() const {
-  if (announces_.empty()) return {};
-  return announces_.begin()->second.contributors;
+  const std::size_t ref = reference_announcer();
+  if (ref == kNpos) return {};
+  return ann_contribs_[ref];
 }
 
 std::uint32_t ClusterContext::included_by(net::NodeId member) const {
   std::uint32_t count = 0;
-  for (const auto& [who, ann] : announces_) {
-    if (who == member) continue;
-    if (std::binary_search(ann.contributors.begin(), ann.contributors.end(),
-                           member)) {
-      ++count;
-    }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!ann_present_[i] || members_[i] == member) continue;
+    const auto& contribs = ann_contribs_[i];
+    if (std::binary_search(contribs.begin(), contribs.end(), member)) ++count;
   }
   return count;
 }

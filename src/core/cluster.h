@@ -4,10 +4,17 @@
 // so the share/assemble/solve pipeline is unit-testable in isolation.
 // The IcpdaApp owns one per node and feeds it roster, shares and F
 // announcements as they arrive off the radio.
+//
+// Storage is struct-of-arrays keyed by roster position: shares and
+// announcements live in flat vectors sized to the roster, reset
+// (capacity-preserving) by set_roster(). A warm context processes a
+// whole epoch with zero per-share heap allocations; rosters are tiny
+// (E[m] = 1/pc, single digits), so membership lookups are linear scans.
+// EpochArenaTest pins that a reused context behaves identically to a
+// freshly constructed one.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -26,9 +33,10 @@ enum class ClusterRole : std::uint8_t {
 
 class ClusterContext {
  public:
-  /// Install the final roster (as broadcast by the head). `self` must
-  /// appear in `members`; returns false (and leaves the context empty)
-  /// otherwise, or if members/seeds are malformed.
+  /// Install the final roster (as broadcast by the head) and reset all
+  /// per-epoch arenas. `self` must appear in `members`; returns false —
+  /// leaving the prior state untouched — otherwise, or if members/seeds
+  /// are malformed.
   bool set_roster(net::NodeId head, std::vector<std::uint32_t> members,
                   std::vector<std::uint32_t> seeds, net::NodeId self);
 
@@ -59,12 +67,11 @@ class ClusterContext {
   }
 
   /// A decrypted share p_sender(x_self) received from a peer. Repeat
-  /// senders overwrite (retransmission).
-  void record_share(net::NodeId sender, const proto::Aggregate& share) {
-    shares_in_[sender] = share;
-  }
+  /// senders overwrite (retransmission); senders outside the roster are
+  /// ignored (every protocol call site already filters on in_roster).
+  void record_share(net::NodeId sender, const proto::Aggregate& share);
 
-  [[nodiscard]] std::size_t shares_received() const { return shares_in_.size(); }
+  [[nodiscard]] std::size_t shares_received() const { return shares_count_; }
 
   /// Assemble F_self = kept + sum of received shares. `contributors`
   /// receives the sorted member ids whose shares are included
@@ -76,16 +83,14 @@ class ClusterContext {
   void record_announce(net::NodeId member, const proto::Aggregate& f,
                        std::vector<std::uint32_t> contributors);
 
-  [[nodiscard]] std::size_t announces_received() const { return announces_.size(); }
+  [[nodiscard]] std::size_t announces_received() const { return ann_count_; }
 
   /// Whether a specific member's F announcement has arrived — the
   /// liveness evidence Phase II recovery keys on.
-  [[nodiscard]] bool announced(net::NodeId member) const {
-    return announces_.contains(member);
-  }
+  [[nodiscard]] bool announced(net::NodeId member) const;
 
   /// All roster members have announced F.
-  [[nodiscard]] bool complete() const { return announces_.size() == members_.size(); }
+  [[nodiscard]] bool complete() const { return ann_count_ == members_.size(); }
 
   /// All announced contributor lists are identical (the consistency
   /// condition under which the interpolation recovers sum over that
@@ -110,20 +115,35 @@ class ClusterContext {
   [[nodiscard]] std::uint32_t included_by(net::NodeId member) const;
 
  private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  /// Roster position of `member`, or kNpos.
+  [[nodiscard]] std::size_t index_of(net::NodeId member) const;
+  /// Roster position (via by_id_) of the smallest-id member that has
+  /// announced — the reference for consistent()/contributor_set(),
+  /// matching the old std::map iteration order. kNpos if none.
+  [[nodiscard]] std::size_t reference_announcer() const;
+
   net::NodeId head_ = net::kNoNode;
   std::vector<std::uint32_t> members_;  ///< roster order
   std::vector<std::uint32_t> seeds_;    ///< roster order
   std::size_t my_index_ = 0;
+  /// Roster positions sorted by member id — the iteration order the
+  /// previous map-based storage exposed (ascending sender id), which
+  /// the float merge in assemble() must reproduce exactly.
+  std::vector<std::uint32_t> by_id_;
 
   proto::Aggregate kept_share_;
   bool have_kept_ = false;
-  std::map<net::NodeId, proto::Aggregate> shares_in_;
 
-  struct Announce {
-    proto::Aggregate f;
-    std::vector<std::uint32_t> contributors;  ///< stored sorted
-  };
-  std::map<net::NodeId, Announce> announces_;
+  // Per-epoch arenas, indexed by roster position.
+  std::vector<proto::Aggregate> share_vals_;
+  std::vector<std::uint8_t> share_present_;
+  std::size_t shares_count_ = 0;
+
+  std::vector<proto::Aggregate> ann_f_;
+  std::vector<std::vector<std::uint32_t>> ann_contribs_;  ///< stored sorted
+  std::vector<std::uint8_t> ann_present_;
+  std::size_t ann_count_ = 0;
 };
 
 }  // namespace icpda::core

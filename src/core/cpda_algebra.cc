@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "proto/messages.h"
@@ -26,10 +27,11 @@ bool seeds_valid(const std::vector<double>& seeds) {
 }
 }  // namespace
 
-std::vector<proto::Aggregate> make_shares(const proto::Aggregate& value,
-                                          const std::vector<double>& seeds,
-                                          sim::Rng& rng, double coeff_scale) {
+void make_shares_into(const proto::Aggregate& value, const std::vector<double>& seeds,
+                      sim::Rng& rng, std::vector<proto::Aggregate>& shares,
+                      double coeff_scale) {
   const std::size_t m = seeds.size();
+  const std::size_t n_coeffs = m > 0 ? m - 1 : 0;
   double x_max = 1.0;
   for (const double s : seeds) x_max = std::max(x_max, std::abs(s));
   // Three polynomials share the structure; coefficients are drawn
@@ -39,19 +41,25 @@ std::vector<proto::Aggregate> make_shares(const proto::Aggregate& value,
   // hence the Vandermonde conditioning of the solve) flat in m.
   // Privacy is unaffected: disclosure is a rank property of the linear
   // system, independent of the noise magnitudes.
-  std::vector<proto::Aggregate> coeffs(m > 0 ? m - 1 : 0);
-  double scale_t = coeff_scale;
-  for (auto& c : coeffs) {
-    scale_t /= x_max;
-    c.count = rng.uniform(-scale_t, scale_t);
-    c.sum = rng.uniform(-scale_t, scale_t);
-    c.sum_sq = rng.uniform(-scale_t, scale_t);
+  proto::Aggregate stack_coeffs[31];
+  std::vector<proto::Aggregate> heap_coeffs;
+  proto::Aggregate* coeffs = stack_coeffs;
+  if (n_coeffs > 31) {
+    heap_coeffs.resize(n_coeffs);
+    coeffs = heap_coeffs.data();
   }
-  std::vector<proto::Aggregate> shares(m);
+  double scale_t = coeff_scale;
+  for (std::size_t t = 0; t < n_coeffs; ++t) {
+    scale_t /= x_max;
+    coeffs[t].count = rng.uniform(-scale_t, scale_t);
+    coeffs[t].sum = rng.uniform(-scale_t, scale_t);
+    coeffs[t].sum_sq = rng.uniform(-scale_t, scale_t);
+  }
+  shares.assign(m, proto::Aggregate{});
   for (std::size_t j = 0; j < m; ++j) {
     // Horner evaluation of each component polynomial at seeds[j].
     proto::Aggregate acc;  // zero
-    for (std::size_t t = coeffs.size(); t-- > 0;) {
+    for (std::size_t t = n_coeffs; t-- > 0;) {
       acc.count = acc.count * seeds[j] + coeffs[t].count;
       acc.sum = acc.sum * seeds[j] + coeffs[t].sum;
       acc.sum_sq = acc.sum_sq * seeds[j] + coeffs[t].sum_sq;
@@ -60,6 +68,13 @@ std::vector<proto::Aggregate> make_shares(const proto::Aggregate& value,
     shares[j].sum = acc.sum * seeds[j] + value.sum;
     shares[j].sum_sq = acc.sum_sq * seeds[j] + value.sum_sq;
   }
+}
+
+std::vector<proto::Aggregate> make_shares(const proto::Aggregate& value,
+                                          const std::vector<double>& seeds,
+                                          sim::Rng& rng, double coeff_scale) {
+  std::vector<proto::Aggregate> shares;
+  make_shares_into(value, seeds, rng, shares, coeff_scale);
   return shares;
 }
 
@@ -79,10 +94,27 @@ std::vector<double> lagrange_weights_at_zero(const std::vector<double>& seeds) {
 std::optional<proto::Aggregate> solve_cluster_sum(
     const std::vector<double>& seeds, const std::vector<proto::Aggregate>& assembled) {
   if (seeds.size() != assembled.size()) return std::nullopt;
-  const auto w = lagrange_weights_at_zero(seeds);
-  if (w.empty()) return std::nullopt;
+  if (!seeds_valid(seeds)) return std::nullopt;
+  const std::size_t m = seeds.size();
+  // Weights on the stack for protocol-sized clusters (m <= 32); the
+  // loop order matches lagrange_weights_at_zero() exactly so the float
+  // results are bit-identical to the weight-vector path.
+  double stack_w[32];
+  std::vector<double> heap_w;
+  double* w = stack_w;
+  if (m > 32) {
+    heap_w.resize(m);
+    w = heap_w.data();
+  }
+  for (std::size_t j = 0; j < m; ++j) w[j] = 1.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < m; ++k) {
+      if (k == j) continue;
+      w[j] *= seeds[k] / (seeds[k] - seeds[j]);
+    }
+  }
   proto::Aggregate v;
-  for (std::size_t j = 0; j < seeds.size(); ++j) {
+  for (std::size_t j = 0; j < m; ++j) {
     v.count += w[j] * assembled[j].count;
     v.sum += w[j] * assembled[j].sum;
     v.sum_sq += w[j] * assembled[j].sum_sq;
@@ -152,6 +184,40 @@ bool seeds_valid_exact(const std::vector<std::int64_t>& seeds) {
   return !seeds.empty();
 }
 
+/// Seed bound for the specialized solve: with |x_j| <= 2^17 and m = 8
+/// the weight numerator is at most 2^(17*7) = 2^119 and the denominator
+/// at most 2^(18*7) = 2^126, both inside Int128. This gates only which
+/// path runs — the shared accumulation's Int128 domain is the caller
+/// precondition documented in cpda_algebra.h, and is much smaller.
+constexpr std::int64_t kExactFastSeedBound = std::int64_t{1} << 17;
+
+/// Specialized Vandermonde solve for a compile-time cluster size. Each
+/// Lagrange weight w_j = prod_k x_k / prod_k (x_k - x_j) is formed as
+/// one numerator/denominator product pair and reduced by a single gcd,
+/// replacing M-1 incremental Fraction normalizations. Lowest-terms
+/// rationals (den > 0) are a canonical form, so the reduced w_j — and
+/// every Fraction op after it — is identical to the generic path's.
+template <std::size_t M>
+std::optional<std::int64_t> solve_exact_fast(const std::int64_t* seeds,
+                                             const std::int64_t* assembled) {
+  Fraction total;
+  for (std::size_t j = 0; j < M; ++j) {
+    Int128 num = 1;
+    Int128 den = 1;
+    for (std::size_t k = 0; k < M; ++k) {
+      if (k == j) continue;
+      num *= seeds[k];
+      den *= seeds[k] - seeds[j];
+    }
+    Fraction w{num, den};
+    w.normalize();
+    total += w * Fraction{assembled[j], 1};
+  }
+  total.normalize();
+  if (total.den != 1) return std::nullopt;  // corrupted inputs
+  return static_cast<std::int64_t>(total.num);
+}
+
 }  // namespace
 
 ExactShareSet make_shares_exact(std::int64_t value,
@@ -174,6 +240,30 @@ ExactShareSet make_shares_exact(std::int64_t value,
 }
 
 std::optional<std::int64_t> solve_cluster_sum_exact(
+    const std::vector<std::int64_t>& seeds, const std::vector<std::int64_t>& assembled) {
+  if (seeds.size() != assembled.size() || !seeds_valid_exact(seeds)) return std::nullopt;
+  const std::size_t m = seeds.size();
+  bool small_seeds = true;
+  for (const std::int64_t s : seeds) {
+    if (s > kExactFastSeedBound || s < -kExactFastSeedBound) {
+      small_seeds = false;
+      break;
+    }
+  }
+  if (small_seeds) {
+    // The cluster sizes the protocol actually produces; anything else
+    // falls through to the generic solve.
+    switch (m) {
+      case 3: return solve_exact_fast<3>(seeds.data(), assembled.data());
+      case 5: return solve_exact_fast<5>(seeds.data(), assembled.data());
+      case 8: return solve_exact_fast<8>(seeds.data(), assembled.data());
+      default: break;
+    }
+  }
+  return solve_cluster_sum_exact_generic(seeds, assembled);
+}
+
+std::optional<std::int64_t> solve_cluster_sum_exact_generic(
     const std::vector<std::int64_t>& seeds, const std::vector<std::int64_t>& assembled) {
   if (seeds.size() != assembled.size() || !seeds_valid_exact(seeds)) return std::nullopt;
   const std::size_t m = seeds.size();
@@ -200,6 +290,19 @@ net::Bytes ShareBody::to_bytes() const {
   share.write(w);
   proto::write_epoch_tag(w, epoch_tag);
   return std::move(w).take();
+}
+
+void ShareBody::patch_share(net::Bytes& bytes, const proto::Aggregate& share) {
+  const auto put = [&bytes](std::size_t off, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes[off + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    }
+  };
+  put(kShareOffset, share.count);
+  put(kShareOffset + 8, share.sum);
+  put(kShareOffset + 16, share.sum_sq);
 }
 
 std::optional<ShareBody> ShareBody::from_bytes(const net::Bytes& b) {

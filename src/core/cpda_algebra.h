@@ -42,6 +42,16 @@ namespace icpda::core {
     const proto::Aggregate& value, const std::vector<double>& seeds,
     sim::Rng& rng, double coeff_scale = 1000.0);
 
+/// Arena variant of make_shares(): fills `shares` in place (capacity is
+/// reused across calls, so a warm vector cuts a round of shares with
+/// zero heap allocations; blinding coefficients live on the stack for
+/// m <= 32). Draws the same Rng sequence and performs the same float
+/// ops as make_shares(), so the produced shares are bit-identical —
+/// pinned differentially by CryptoBatchTest.
+void make_shares_into(const proto::Aggregate& value, const std::vector<double>& seeds,
+                      sim::Rng& rng, std::vector<proto::Aggregate>& shares,
+                      double coeff_scale = 1000.0);
+
 /// Recover the cluster sum V = P(0) from the m assembled values
 /// F_j = P(x_j) by Lagrange interpolation at zero. Returns nullopt if
 /// seeds are not distinct/non-zero or sizes mismatch.
@@ -74,7 +84,32 @@ struct ExactShareSet {
 /// Exact recovery of V from integer F_j at integer seeds. Returns
 /// nullopt on invalid seeds or if the result is provably non-integral
 /// (which indicates corrupted inputs).
+///
+/// Precondition (both paths): the rational intermediates must fit in
+/// 128-bit integers, and the binding constraint is the *accumulation*,
+/// not weight formation — partial sums carry denominators that
+/// compound toward the lcm of the per-weight denominators, each up to
+/// |2·seed|^(m-1). The joint-safe domain therefore shrinks with m;
+/// the protocol envelope (roster seeds <= ~16, |F_j| <= 2^40) has
+/// orders of magnitude of headroom at every supported m, and the
+/// randomized differential suite runs at positive seeds <= 16 with the
+/// full value range (mixed-sign seeds only at reduced values). Seeds
+/// near the 2^17 dispatch bound can wrap the m = 8 accumulator in
+/// either path; callers outside tests never leave the envelope.
+///
+/// For the cluster sizes the protocol actually produces (m in {3,5,8})
+/// with small seeds (|x_j| <= 2^17), a specialized Vandermonde solve
+/// computes each Lagrange weight as one product pair N_j/D_j reduced by
+/// a single gcd instead of m-1 incremental Fraction normalizations.
+/// Lowest-terms rationals are canonical, so the fast path is bitwise
+/// identical to the generic one — pinned by CpdaExactPathTest over
+/// ~10k randomized cases.
 [[nodiscard]] std::optional<std::int64_t> solve_cluster_sum_exact(
+    const std::vector<std::int64_t>& seeds, const std::vector<std::int64_t>& assembled);
+
+/// The generic incremental-Fraction solve, kept public as the
+/// differential reference for the specialized fast path above.
+[[nodiscard]] std::optional<std::int64_t> solve_cluster_sum_exact_generic(
     const std::vector<std::int64_t>& seeds, const std::vector<std::int64_t>& assembled);
 
 // ---------------------------------------------------------------------
@@ -96,6 +131,16 @@ struct ShareBody {
 
   [[nodiscard]] net::Bytes to_bytes() const;
   [[nodiscard]] static std::optional<ShareBody> from_bytes(const net::Bytes& b);
+
+  /// Byte offset of `share` inside to_bytes() output: u32 query_id (4)
+  /// + u8 round (1). The epoch-tag trailer, if any, follows the triple.
+  static constexpr std::size_t kShareOffset = 5;
+  /// Overwrite the 24-byte share triple inside an already-serialized
+  /// body. Lets the sender serialize the (query_id, round, epoch_tag)
+  /// template once per cluster round and patch only the per-peer share
+  /// — the bytes equal a fresh to_bytes() for every peer, which the
+  /// fuzz/differential suites pin. `bytes` must come from to_bytes().
+  static void patch_share(net::Bytes& bytes, const proto::Aggregate& share);
 };
 
 }  // namespace icpda::core

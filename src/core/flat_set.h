@@ -1,0 +1,42 @@
+// Sorted-vector set for small, hot membership tracking.
+//
+// The protocol keeps a few per-node dedup/membership sets that are
+// touched once per received frame (hello sources, forwarded-alarm
+// keys) but only ever queried for membership and size — never
+// iterated. std::set pays a node allocation and an O(log n) pointer
+// chase per insert for ordering nobody reads; a sorted vector keeps
+// the same semantics (strict weak order, unique elements) with
+// contiguous storage, and past the first few epochs inserts are
+// almost always duplicates, i.e. a binary search with no write.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace icpda::core {
+
+template <typename T>
+class FlatSet {
+ public:
+  /// Insert `v`; returns true if it was not already present.
+  bool insert(const T& v) {
+    const auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it != items_.end() && *it == v) return false;
+    items_.insert(it, v);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    return std::binary_search(items_.begin(), items_.end(), v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace icpda::core

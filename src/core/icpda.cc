@@ -45,7 +45,10 @@ void IcpdaApp::start(net::Node& node) {
 }
 
 void IcpdaApp::on_receive(net::Node& node, const net::Frame& frame) {
-  if (replay_gate(node, frame)) return;
+  // replay_gate's first test is `epoch_tag == 0`; hoisting it here
+  // keeps the un-hardened configuration (the common one) from paying a
+  // non-inlined call per dispatched frame.
+  if (config_.hardening.epoch_tag != 0 && replay_gate(node, frame)) return;
   if (adv_) maybe_capture(node, frame);
   switch (frame.type) {
     case proto::kHello:
@@ -81,7 +84,7 @@ void IcpdaApp::on_receive(net::Node& node, const net::Frame& frame) {
 }
 
 void IcpdaApp::on_overhear(net::Node& node, const net::Frame& frame) {
-  if (replay_gate(node, frame)) return;
+  if (config_.hardening.epoch_tag != 0 && replay_gate(node, frame)) return;
   if (adv_) maybe_capture(node, frame);
   switch (frame.type) {
     case proto::kClusterReport:
@@ -435,6 +438,24 @@ void IcpdaApp::close_roster(net::Node& node) {
 }
 
 void IcpdaApp::handle_roster(net::Node& node, const net::Frame& frame) {
+  // Header peek before the full parse (two u32_vec allocations): the
+  // (query_id, head, round) prefix sits at fixed offsets, and a
+  // round-0 roster only matters to an unrostered member that chose
+  // this head. Every discard branch below runs before any side
+  // effect, so returning on the peeked fields is observationally
+  // identical; short payloads fall through to the parse, which
+  // rejects them exactly as before.
+  if (frame.payload.size() >= 9) {
+    net::WireReader peek(frame.payload);
+    const std::uint32_t query_id = peek.u32();
+    const net::NodeId head = peek.u32();
+    const std::uint8_t round = peek.u8();
+    if (query_id != config_.query_id) return;
+    if (round == 0 && (role_ != ClusterRole::kMember || head != chosen_head_ ||
+                       cluster_.has_roster())) {
+      return;
+    }
+  }
   const auto roster = ClusterRosterMsg::from_bytes(frame.payload);
   if (!roster || roster->query_id != config_.query_id) return;
   if (roster->round > 0) {
@@ -539,13 +560,14 @@ void IcpdaApp::handle_recovery_roster(net::Node& node, const ClusterRosterMsg& r
     }
     return;
   }
-  ClusterContext fresh;
-  if (!fresh.set_roster(roster.head, roster.members, roster.seeds, node.id())) {
+  // In-place arena reset: set_roster validates fully before mutating,
+  // so a bad recovery roster leaves the round-0 state untouched —
+  // exactly what the old construct-then-move-assign did.
+  if (!cluster_.set_roster(roster.head, roster.members, roster.seeds, node.id())) {
     node.metrics().add("icpda.bad_roster");
     return;
   }
   phase2_round_ = roster.round;
-  cluster_ = std::move(fresh);
   f_sent_ = false;
   my_f_contributors_.clear();
   replay_early_shares();
@@ -568,7 +590,8 @@ void IcpdaApp::handle_recovery_roster(net::Node& node, const ClusterRosterMsg& r
 void IcpdaApp::send_shares(net::Node& node) {
   const Aggregate contribution = Aggregate::of(readings_(node.id()));
   const auto seeds = cluster_.seed_values();
-  auto shares = make_shares(contribution, seeds, rng(node), config_.coeff_scale);
+  make_shares_into(contribution, seeds, rng(node), share_scratch_, config_.coeff_scale);
+  const auto& shares = share_scratch_;
   const auto& members = cluster_.members();
 
   cluster_.set_kept_share(shares[cluster_.my_index()]);
@@ -584,10 +607,25 @@ void IcpdaApp::send_shares(net::Node& node) {
                           node.now());
     return;
   }
+  // Batched crypto for the cluster round: every pairwise key in one
+  // pass (one cached key schedule under MasterPairwiseScheme), the
+  // sealed body serialized once as a template with only the 24-byte
+  // share patched per peer, and one seal buffer reused across peers.
+  // Wire bytes and RNG draw order (coefficients first, then one nonce
+  // per actually-sent share in member order) match the old per-share
+  // loop exactly — pinned by CryptoBatchTest and the golden traces.
+  keys_->link_keys(node.id(), members, link_keys_scratch_);
+  ShareBody body{config_.query_id, phase2_round_, proto::Aggregate{}};
+  body.epoch_tag = config_.hardening.epoch_tag;
+  net::Bytes body_bytes = body.to_bytes();
+  ShareMsg msg;
+  msg.query_id = config_.query_id;
+  msg.sender = node.id();
+  msg.epoch_tag = config_.hardening.epoch_tag;
   for (std::size_t j = 0; j < members.size(); ++j) {
     if (j == cluster_.my_index()) continue;
     const net::NodeId peer = members[j];
-    const auto key = keys_->link_key(node.id(), peer);
+    const auto& key = link_keys_scratch_[j];
     if (!key) {
       // No pairwise key with this member (possible under EG rings):
       // the share cannot be protected, so it is not sent. The cluster
@@ -596,14 +634,9 @@ void IcpdaApp::send_shares(net::Node& node) {
       node.metrics().add("icpda.no_link_key");
       continue;
     }
-    ShareBody body{config_.query_id, phase2_round_, shares[j]};
-    body.epoch_tag = config_.hardening.epoch_tag;
-    ShareMsg msg;
-    msg.query_id = config_.query_id;
-    msg.sender = node.id();
+    ShareBody::patch_share(body_bytes, shares[j]);
     msg.recipient = peer;
-    msg.epoch_tag = config_.hardening.epoch_tag;
-    msg.sealed = crypto::seal(*key, rng(node)(), body.to_bytes());
+    crypto::seal_into(*key, rng(node)(), body_bytes, msg.sealed);
     // Cluster members are all within range of the head but not
     // necessarily of each other (the cluster is a star): member-to-
     // member shares are relayed through the head. The share is sealed
@@ -632,12 +665,13 @@ void IcpdaApp::handle_share(net::Node& node, const net::Frame& frame) {
   }
   const auto key = keys_->link_key(msg->sender, node.id());
   if (!key) return;
-  const auto opened = crypto::open(*key, msg->sealed);
-  if (!opened) {
+  // Arena open: the plaintext buffer is a member scratch, so steady-
+  // state share reception decrypts without heap allocation.
+  if (!crypto::open_into(*key, msg->sealed, opened_scratch_)) {
     node.metrics().add("icpda.share_bad_auth");
     return;
   }
-  const auto body = ShareBody::from_bytes(*opened);
+  const auto body = ShareBody::from_bytes(opened_scratch_);
   if (!body || body->query_id != config_.query_id) return;
   if (body->round < phase2_round_) {
     // Round-0 stragglers after a recovery reset: their polynomial has
@@ -868,9 +902,9 @@ void IcpdaApp::start_phase2_recovery(net::Node& node) {
   }
 
   phase2_round_ = 1;
-  ClusterContext fresh;
-  fresh.set_roster(node.id(), roster.members, roster.seeds, node.id());
-  cluster_ = std::move(fresh);
+  // In-place arena reset; cannot fail here (the head is survivors[0]
+  // and the seeds are a distinct non-zero subset of the round-0 ones).
+  cluster_.set_roster(node.id(), roster.members, roster.seeds, node.id());
   f_sent_ = false;
   my_f_contributors_.clear();
 
@@ -886,6 +920,16 @@ void IcpdaApp::start_phase2_recovery(net::Node& node) {
 void IcpdaApp::handle_digest(net::Node& node, const net::Frame& frame) {
   const bool member_path = role_ == ClusterRole::kMember && cluster_.has_roster();
   if (!member_path && !config_.hardening.digest_crosscheck) return;
+  // Header peek mirroring handle_roster: without the crosscheck sweep
+  // only our own head's digest can matter, and with overhear degrees
+  // of ~45 almost every digest heard belongs to a foreign cluster.
+  // The peeked checks replicate the first two discard branches below,
+  // which run before any side effect.
+  if (!config_.hardening.digest_crosscheck && frame.payload.size() >= 8) {
+    net::WireReader peek(frame.payload);
+    if (peek.u32() != config_.query_id) return;
+    if (peek.u32() != cluster_.head()) return;
+  }
   const auto digest = ClusterDigestMsg::from_bytes(frame.payload);
   if (!digest || digest->query_id != config_.query_id) return;
   if (config_.hardening.digest_crosscheck) crosscheck_digest(node, *digest);
@@ -1335,6 +1379,19 @@ void IcpdaApp::check_watchdog(net::Node& node, const ReportMsg& report,
 }
 
 void IcpdaApp::overhear_report(net::Node& node, const net::Frame& frame) {
+  // Decide from the frame header alone whether this report can matter
+  // before paying for the parse (items vector and all): with overhear
+  // degrees of ~45 the typical report concerns neither our parent nor
+  // our monitored head. Parsing is side-effect-free (no metrics, no
+  // RNG), so skipping it for frames no branch below would touch is
+  // observationally identical.
+  const bool from_parent = frame.src == parent_;
+  const bool monitoring =
+      role_ == ClusterRole::kMember && monitor_.target() != net::kNoNode;
+  if (!from_parent && !(monitoring && (frame.dst == monitor_.target() ||
+                                       frame.src == monitor_.target()))) {
+    return;
+  }
   const auto report = ReportMsg::from_bytes(frame.payload);
   if (!report || report->query_id != config_.query_id) return;
 
@@ -1393,7 +1450,7 @@ void IcpdaApp::raise_alarm(net::Node& node, net::NodeId accused,
                            AlarmMsg::Kind kind, double expected, double observed) {
   // One alarm per accused node per epoch: repeated evidence against
   // the same neighbour adds nothing and alarm floods are expensive.
-  if (!alarms_forwarded_.insert({node.id(), accused}).second) return;
+  if (!alarms_forwarded_.insert({node.id(), accused})) return;
   AlarmMsg alarm;
   alarm.query_id = config_.query_id;
   alarm.kind = kind;
@@ -1407,13 +1464,27 @@ void IcpdaApp::raise_alarm(net::Node& node, net::NodeId accused,
 }
 
 void IcpdaApp::handle_alarm(net::Node& node, const net::Frame& frame) {
+  // An alarm flood re-delivers one (witness, accused) pair roughly
+  // `degree` times per node, and both branches below dedupe on that
+  // pair before touching any state. AlarmMsg::from_bytes is
+  // side-effect-free, so peek the fixed-offset header (query_id @0,
+  // kind @4, witness @5, accused @9) and drop copies that cannot
+  // change state before paying for the full decode.
+  if (frame.payload.size() >= 13) {
+    net::WireReader peek(frame.payload);
+    if (peek.u32() != config_.query_id) return;
+    peek.u8();
+    const net::NodeId witness = peek.u32();
+    const net::NodeId accused = peek.u32();
+    if (alarms_forwarded_.contains({witness, accused})) return;
+  }
   const auto alarm = AlarmMsg::from_bytes(frame.payload);
   if (!alarm || alarm->query_id != config_.query_id) return;
 
   if (node.is_base_station()) {
     // The flood delivers many copies of one alarm: dedupe here too.
     const auto key = std::make_pair(alarm->witness, alarm->accused);
-    if (!alarms_forwarded_.insert(key).second) return;
+    if (!alarms_forwarded_.insert(key)) return;
     if (outcome_) {
       outcome_->alarms.push_back(*alarm);
       if (alarm->kind == AlarmMsg::kDropSuspect) {
@@ -1427,7 +1498,7 @@ void IcpdaApp::handle_alarm(net::Node& node, const net::Frame& frame) {
   }
   // Flood: rebroadcast each distinct (witness, accused) once.
   const auto key = std::make_pair(alarm->witness, alarm->accused);
-  if (alarms_forwarded_.insert(key).second) {
+  if (alarms_forwarded_.insert(key)) {
     node.broadcast(proto::kAlarm, frame.payload);
   }
 }

@@ -35,9 +35,11 @@
 
 #include "core/adversary.h"
 #include "core/cluster.h"
+#include "core/flat_set.h"
 #include "core/config.h"
 #include "core/faults.h"
 #include "core/integrity.h"
+#include "crypto/cipher.h"
 #include "crypto/keys.h"
 #include "net/network.h"
 #include "net/node.h"
@@ -247,7 +249,7 @@ class IcpdaApp final : public net::App {
   ClusterRole role_ = ClusterRole::kUndecided;
   /// Distinct neighbours whose query re-broadcast we heard; the
   /// density estimate behind adaptive head election.
-  std::set<net::NodeId> hello_sources_;
+  FlatSet<net::NodeId> hello_sources_;
   std::vector<net::NodeId> heard_heads_;
   net::NodeId chosen_head_ = net::kNoNode;
   std::uint32_t join_attempts_ = 0;
@@ -261,6 +263,13 @@ class IcpdaApp final : public net::App {
   proto::Aggregate my_f_;                     ///< the F this node sent
   std::vector<std::uint32_t> my_f_contributors_;
   bool f_sent_ = false;
+  /// Scratch arenas for the share hot path (send_shares/handle_share):
+  /// capacity persists across rounds and epochs, so the warm loop cuts,
+  /// seals and opens shares without heap allocation. Values never leak
+  /// across uses — every consumer overwrites before reading.
+  std::vector<proto::Aggregate> share_scratch_;
+  std::vector<std::optional<crypto::Key>> link_keys_scratch_;
+  crypto::Bytes opened_scratch_;
   /// Shares that arrived before the matching roster (decrypted, keyed
   /// by sender, tagged with their round); replayed into the context
   /// once the roster for that round is installed.
@@ -274,7 +283,7 @@ class IcpdaApp final : public net::App {
   std::vector<proto::ReportItem> items_;  ///< itemized inputs (heads)
   bool reported_ = false;
   WitnessMonitor monitor_;
-  std::set<std::pair<net::NodeId, net::NodeId>> alarms_forwarded_;  ///< (witness, accused)
+  FlatSet<std::pair<net::NodeId, net::NodeId>> alarms_forwarded_;  ///< (witness, accused)
 
   /// Watchdog expectations on the tree parent: after handing a report
   /// up, the sender waits to overhear either a verbatim forward or an

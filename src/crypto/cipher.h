@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/prf.h"
@@ -29,5 +30,21 @@ inline constexpr std::size_t kSealOverheadBytes = 16;
 /// Verify-and-decrypt. Returns nullopt on tag mismatch (wrong key or
 /// corrupted message) or malformed input.
 [[nodiscard]] std::optional<Bytes> open(const Key& key, const Bytes& sealed);
+
+/// Arena variant of seal(): writes the sealed message into `out`
+/// (cleared and refilled; capacity is reused across calls, so a warm
+/// buffer seals with zero heap allocations). The produced bytes are
+/// identical to seal() for every (key, nonce, plaintext) — pinned
+/// differentially by CryptoBatchTest. This is the one-context-per-
+/// cluster-round entry point: the protocol keeps one buffer per round
+/// and seals every member's share through it.
+void seal_into(const Key& key, std::uint64_t nonce,
+               std::span<const std::uint8_t> plaintext, Bytes& out);
+
+/// Arena variant of open(): verifies and decrypts into `plain` (cleared
+/// and refilled, capacity reused). Returns false — leaving `plain`
+/// empty — exactly when open() would return nullopt.
+[[nodiscard]] bool open_into(const Key& key, std::span<const std::uint8_t> sealed,
+                             Bytes& plain);
 
 }  // namespace icpda::crypto

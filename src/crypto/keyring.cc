@@ -10,7 +10,21 @@ std::optional<Key> MasterPairwiseScheme::link_key(net::NodeId a, net::NodeId b) 
   if (a == b) return std::nullopt;
   const auto lo = std::min(a, b);
   const auto hi = std::max(a, b);
-  return derive_key(master_, lo, hi);
+  return deriver_.derive(lo, hi);
+}
+
+void MasterPairwiseScheme::link_keys(net::NodeId self,
+                                     std::span<const net::NodeId> peers,
+                                     std::vector<std::optional<Key>>& out) const {
+  out.clear();
+  out.reserve(peers.size());
+  for (const net::NodeId peer : peers) {
+    if (peer == self) {
+      out.emplace_back(std::nullopt);
+    } else {
+      out.emplace_back(deriver_.derive(std::min(self, peer), std::max(self, peer)));
+    }
+  }
 }
 
 EgPredistribution::EgPredistribution(std::size_t node_count, std::size_t pool_size,
@@ -18,6 +32,7 @@ EgPredistribution::EgPredistribution(std::size_t node_count, std::size_t pool_si
     : pool_size_(pool_size),
       ring_size_(ring_size),
       pool_master_(Key::from_seed(rng())),
+      pool_deriver_(pool_master_),
       rings_(node_count) {
   if (ring_size == 0 || ring_size > pool_size) {
     throw std::invalid_argument("EgPredistribution: need 0 < ring_size <= pool_size");
@@ -32,7 +47,7 @@ EgPredistribution::EgPredistribution(std::size_t node_count, std::size_t pool_si
 }
 
 Key EgPredistribution::pool_key(std::uint32_t key_id) const {
-  return derive_key(pool_master_, 0x706F6F6CULL /*"pool"*/, key_id);
+  return pool_deriver_.derive(0x706F6F6CULL /*"pool"*/, key_id);
 }
 
 std::optional<std::uint32_t> EgPredistribution::shared_key_id(net::NodeId a,

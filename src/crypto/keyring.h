@@ -15,10 +15,15 @@ namespace icpda::crypto {
 /// deployment. No third party holds any link's key.
 class MasterPairwiseScheme final : public KeyScheme {
  public:
-  explicit MasterPairwiseScheme(Key master) : master_(master) {}
+  explicit MasterPairwiseScheme(Key master)
+      : master_(master), deriver_(master) {}
 
   [[nodiscard]] std::optional<Key> link_key(net::NodeId a,
                                             net::NodeId b) const override;
+  /// One cached key schedule serves the whole member set (KeyDeriver);
+  /// entry values are byte-identical to the per-pair path.
+  void link_keys(net::NodeId self, std::span<const net::NodeId> peers,
+                 std::vector<std::optional<Key>>& out) const override;
   [[nodiscard]] bool third_party_can_read(net::NodeId, net::NodeId,
                                           net::NodeId) const override {
     return false;
@@ -26,6 +31,7 @@ class MasterPairwiseScheme final : public KeyScheme {
 
  private:
   Key master_;
+  KeyDeriver deriver_;  ///< cached post-init sponge state for master_
 };
 
 /// Eschenauer–Gligor random key predistribution.
@@ -73,6 +79,7 @@ class EgPredistribution final : public KeyScheme {
   std::size_t pool_size_;
   std::size_t ring_size_;
   Key pool_master_;
+  KeyDeriver pool_deriver_;  ///< cached post-init sponge state for pool_master_
   std::vector<std::vector<std::uint32_t>> rings_;
 
   [[nodiscard]] Key pool_key(std::uint32_t key_id) const;

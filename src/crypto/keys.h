@@ -12,6 +12,8 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "crypto/prf.h"
 #include "net/topology.h"
@@ -26,6 +28,20 @@ class KeyScheme {
   /// nodes cannot establish one (possible under EG predistribution).
   [[nodiscard]] virtual std::optional<Key> link_key(net::NodeId a,
                                                     net::NodeId b) const = 0;
+
+  /// Batch variant: the link keys for {self, p} over a whole member set
+  /// in one pass. `out` is overwritten to peers.size() entries with
+  /// out[i] == link_key(self, peers[i]) — including the nullopt cases
+  /// (self itself, keyless pairs) — and keeps its capacity across calls.
+  /// The default implementation is the per-pair loop; schemes whose
+  /// keys come from a master-keyed PRF override it to amortize the key
+  /// schedule across the cluster round.
+  virtual void link_keys(net::NodeId self, std::span<const net::NodeId> peers,
+                         std::vector<std::optional<Key>>& out) const {
+    out.clear();
+    out.reserve(peers.size());
+    for (const net::NodeId peer : peers) out.push_back(link_key(self, peer));
+  }
 
   /// Can node `c` (not an endpoint) decrypt traffic on link {a, b}
   /// using only its own key material? This is the structural leak the

@@ -65,4 +65,21 @@ class Prf {
 [[nodiscard]] Key derive_key(const Key& master, std::uint64_t label_a,
                              std::uint64_t label_b);
 
+/// Batched key derivation under one master: the keyed sponge state
+/// after the initial permutation depends only on the master key, so a
+/// deriver caches it once and each derive() replays just the two label
+/// absorptions and the squeeze. Output is byte-identical to
+/// derive_key(master, a, b) for every (a, b) — pinned differentially by
+/// CryptoBatchTest. Used to derive a whole cluster's pairwise keys in
+/// one pass per round.
+class KeyDeriver {
+ public:
+  explicit KeyDeriver(const Key& master);
+
+  [[nodiscard]] Key derive(std::uint64_t label_a, std::uint64_t label_b) const;
+
+ private:
+  std::array<std::uint64_t, 4> init_state_{};
+};
+
 }  // namespace icpda::crypto

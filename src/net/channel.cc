@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/mac.h"
+
 namespace icpda::net {
 
 Channel::Channel(const Topology& topo, sim::Scheduler& sched, sim::Rng rng,
@@ -27,15 +29,15 @@ bool Channel::busy_at(NodeId node) const {
   return false;
 }
 
-void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_done) {
+void Channel::transmit(NodeId sender, const Frame& frame, sim::EventFn on_tx_done) {
   const sim::SimTime now = sched_.now();
   const sim::SimTime dur = airtime(frame);
   const sim::SimTime end = now + dur;
   const sim::SimTime arrive = end + sim::SimTime{config_.propagation_delay_s};
   const std::uint64_t tx_id = next_tx_id_++;
 
-  metrics_.add("channel.tx_frames");
-  metrics_.add("channel.tx_bytes", frame.air_bytes());
+  tx_frames_.add(metrics_);
+  tx_bytes_.add(metrics_, frame.air_bytes());
   if (tracer_ && tracer_->enabled()) {
     // Same value as the channel.tx_bytes metric, attributed to the
     // sender's current protocol phase — conservation by construction.
@@ -44,10 +46,8 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
 
   tx_until_[sender] = std::max(tx_until_[sender], end);
 
-  // One shared immutable frame per transmission: taps and every
-  // receiver see this single copy by reference.
-  auto shared = std::make_shared<const Frame>(std::move(frame));
-  for (const auto& tap : taps_) tap(sender, *shared);
+  // Taps see the caller's frame directly at start-of-frame.
+  for (const auto& tap : taps_) tap(sender, frame);
 
   // Register the reception at every in-range node and detect overlap.
   const auto receivers = topo_.neighbors(sender);
@@ -68,17 +68,40 @@ void Channel::transmit(NodeId sender, Frame frame, std::function<void()> on_tx_d
 
   // One delivery event per transmission: every receiver shares the
   // arrival instant, and per-receiver status is resolved at fire time
-  // because a *later* transmission can still corrupt the frame.
+  // because a *later* transmission can still corrupt the frame. The
+  // frame copy the receivers will read lives in a recycled pool slot
+  // on the sink path (no allocation once pools warm up) and in a
+  // shared_ptr on the hook path (hooks may keep the channel busy in
+  // ways the pool's no-transmit-during-deliver invariant forbids).
   if (!receivers.empty()) {
-    sched_.at(arrive, [this, sender, tx_id, shared] {
-      deliver(sender, tx_id, *shared);
-    });
+    if (sink_macs_ != nullptr) {
+      std::uint32_t slot;
+      if (!free_inflight_.empty()) {
+        slot = free_inflight_.back();
+        free_inflight_.pop_back();
+      } else {
+        slot = static_cast<std::uint32_t>(inflight_.size());
+        inflight_.emplace_back();
+      }
+      inflight_[slot] = frame;  // payload buffer capacity is reused
+      sched_.at(arrive, [this, sender, tx_id, slot] {
+        deliver(sender, tx_id, inflight_[slot]);
+        free_inflight_.push_back(slot);
+      });
+    } else {
+      auto shared = std::make_shared<const Frame>(frame);
+      sched_.at(arrive, [this, sender, tx_id, shared] {
+        deliver(sender, tx_id, *shared);
+      });
+    }
   }
 
-  // Notify the sender's MAC when the air is clear again.
-  sched_.at(end, [cb = std::move(on_tx_done)] {
-    if (cb) cb();
-  });
+  // Notify the sender's MAC when the air is clear again. With no
+  // callback (ACKs, taps) there is nothing to notify: the former no-op
+  // event drew no RNG and touched no trace counter, so eliding it is
+  // observationally invisible — relative (time, seq) order of every
+  // remaining event is unchanged.
+  if (on_tx_done) sched_.at(end, std::move(on_tx_done));
 }
 
 void Channel::deliver(NodeId sender, std::uint64_t tx_id, const Frame& frame) {
@@ -101,33 +124,48 @@ void Channel::deliver(NodeId sender, std::uint64_t tx_id, const Frame& frame) {
     }
     switch (status) {
       case ReceptionStatus::kOk:
-        metrics_.add("channel.rx_ok");
+        rx_ok_.add(metrics_);
         if (traced) {
           tracer_->counter(r, sim::TraceCounter::kRxBytes, frame.air_bytes(),
                            sched_.now());
         }
         break;
       case ReceptionStatus::kCollided:
-        metrics_.add("channel.rx_collided");
-        if (frame.dst == r) metrics_.add("channel.dst_collided");
+        rx_collided_.add(metrics_);
+        if (frame.dst == r) dst_collided_.add(metrics_);
         if (traced) {
           tracer_->counter(r, sim::TraceCounter::kCollisionBytes,
                            frame.air_bytes(), sched_.now());
         }
         break;
       case ReceptionStatus::kLost:
-        metrics_.add("channel.rx_lost");
+        rx_lost_.add(metrics_);
         if (traced) {
           tracer_->counter(r, sim::TraceCounter::kLossBytes, frame.air_bytes(),
                            sched_.now());
         }
         break;
       case ReceptionStatus::kHalfDuplex:
-        metrics_.add("channel.rx_halfduplex");
-        if (frame.dst == r) metrics_.add("channel.dst_halfduplex");
+        rx_halfduplex_.add(metrics_);
+        if (frame.dst == r) dst_halfduplex_.add(metrics_);
         break;
     }
-    if (delivery_) delivery_(r, frame, status);
+    if (sink_macs_ != nullptr) {
+      // Direct dispatch into the receiving MAC; a dead receiver's
+      // radio is off, so the frame dissipates unheard (the MAC's own
+      // down flag backstops this, but filtering here keeps the metric
+      // honest — same accounting the Network's hook used to do). The
+      // MAC discards every non-kOk reception unconditionally, so those
+      // calls are elided outright; a delivery hook still sees all four
+      // statuses.
+      if (!sink_alive_[r]) {
+        rx_dead_.add(metrics_);
+      } else if (status == ReceptionStatus::kOk) {
+        sink_macs_[r]->handle_reception(frame, status);
+      }
+    } else if (delivery_) {
+      delivery_(r, frame, status);
+    }
   }
 }
 

@@ -14,12 +14,14 @@
 // (frame, receiver) pair. These two loss sources are what force the
 // base station's acceptance threshold Th > 0.
 //
-// Fan-out is copy-free (DESIGN.md §5f): transmit() moves the frame
-// into one shared immutable allocation and every receiver sees that
-// same Frame by reference — per-receiver state is a 24-byte slot in a
-// reusable per-node pool, and all of a transmission's deliveries run
-// from a single scheduler event (they share the arrival instant, so
-// consolidation is observationally invisible).
+// Fan-out is copy-free (DESIGN.md §5f, §5i): transmit() keeps one
+// copy of the frame per transmission — a recycled pool slot under the
+// production MAC sink, a shared immutable allocation under delivery
+// hooks — and every receiver sees that same Frame by reference.
+// Per-receiver state is a 24-byte slot in a reusable per-node pool,
+// and all of a transmission's deliveries run from a single scheduler
+// event (they share the arrival instant, so consolidation is
+// observationally invisible).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +37,8 @@
 #include "sim/trace.h"
 
 namespace icpda::net {
+
+class Mac;
 
 struct ChannelConfig {
   /// Radio bit rate (paper family: 1 Mbps).
@@ -86,13 +90,39 @@ class Channel {
   /// Is `node` itself currently transmitting?
   [[nodiscard]] bool transmitting(NodeId node) const;
 
-  /// Start transmitting `frame` from `sender` now. The MAC must have
-  /// done its carrier-sense dance already; the channel will happily
-  /// create a collision if told to transmit into a busy medium.
-  /// `on_tx_done` fires at end-of-frame at the sender.
-  void transmit(NodeId sender, Frame frame, std::function<void()> on_tx_done);
+  /// Start transmitting `frame` from `sender` now (the channel takes a
+  /// copy; under the direct-sink wiring it lands in a slot whose
+  /// payload buffer is recycled across transmissions, so steady state
+  /// allocates nothing). The MAC must have done its carrier-sense
+  /// dance already; the channel will happily create a collision if
+  /// told to transmit into a busy medium. `on_tx_done` fires at
+  /// end-of-frame at the sender; pass nullptr (ACKs, test rigs) and no
+  /// end-of-frame event is scheduled at all — carrier state lives in
+  /// tx_until_, so the event exists only to run the callback.
+  void transmit(NodeId sender, const Frame& frame, sim::EventFn on_tx_done);
 
-  void set_delivery(DeliveryFn fn) { delivery_ = std::move(fn); }
+  /// Installing a delivery hook clears any direct MAC sink: the hook
+  /// takes over the reception path completely (tests and tools rely on
+  /// replacing the Network's wiring this way).
+  void set_delivery(DeliveryFn fn) {
+    delivery_ = std::move(fn);
+    sink_macs_ = nullptr;
+    sink_alive_ = nullptr;
+  }
+
+  /// Production fast path (Network::wire): deliver straight into
+  /// `macs[r]->handle_reception` when `alive[r]`, skipping the
+  /// std::function hop paid once per in-range node per frame — the
+  /// hottest indirect call in the simulator. Both arrays are indexed
+  /// by NodeId, must cover every topology node and outlive the
+  /// channel's use of them (the Network owns both; neither reallocates
+  /// after wiring). Dead receivers count channel.rx_dead, exactly as
+  /// the Network's hook did.
+  void set_sink(Mac* const* macs, const std::uint8_t* alive) {
+    sink_macs_ = macs;
+    sink_alive_ = alive;
+  }
+
   void add_tap(TapFn fn) { taps_.push_back(std::move(fn)); }
 
   /// Attach a tracer: transmit() records kTxBytes at the sender (same
@@ -131,7 +161,34 @@ class Channel {
   ChannelConfig config_;
   sim::Tracer* tracer_ = nullptr;
   DeliveryFn delivery_;
+  /// Direct-dispatch sink (set_sink); non-null only under the
+  /// production Network wiring, where it replaces `delivery_`.
+  Mac* const* sink_macs_ = nullptr;
+  const std::uint8_t* sink_alive_ = nullptr;
+  /// In-flight frame pool for the sink path: one slot per transmission
+  /// from start-of-frame until its delivery pass finishes, recycled
+  /// with payload capacity retained. Safe because under the MAC sink
+  /// no code transmits from inside deliver() — every MAC send goes
+  /// through a scheduled backoff/SIFS event — so the pool cannot
+  /// reallocate while a slot is being read. Delivery hooks
+  /// (set_delivery) may do arbitrary things, so that path keeps the
+  /// shared_ptr copy instead.
+  std::vector<Frame> inflight_;
+  std::vector<std::uint32_t> free_inflight_;
   std::vector<TapFn> taps_;
+
+  /// Pre-bound counter handles (sim::MetricRegistry::Cell): deliver()
+  /// touches one of these per receiver per frame, the single hottest
+  /// metric path in the simulator.
+  sim::MetricRegistry::Cell tx_frames_{"channel.tx_frames"};
+  sim::MetricRegistry::Cell tx_bytes_{"channel.tx_bytes"};
+  sim::MetricRegistry::Cell rx_ok_{"channel.rx_ok"};
+  sim::MetricRegistry::Cell rx_collided_{"channel.rx_collided"};
+  sim::MetricRegistry::Cell dst_collided_{"channel.dst_collided"};
+  sim::MetricRegistry::Cell rx_lost_{"channel.rx_lost"};
+  sim::MetricRegistry::Cell rx_halfduplex_{"channel.rx_halfduplex"};
+  sim::MetricRegistry::Cell dst_halfduplex_{"channel.dst_halfduplex"};
+  sim::MetricRegistry::Cell rx_dead_{"channel.rx_dead"};
 
   /// Per-node time until which the node is transmitting.
   std::vector<sim::SimTime> tx_until_;

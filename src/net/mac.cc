@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/node.h"
 #include "net/wire.h"
 #include "sim/log.h"
 
@@ -60,7 +61,11 @@ void Mac::fail_queued_to(NodeId dst) {
   metrics_.add("mac.purged", doomed.size());
   for (const Frame& f : doomed) {
     trace_drop(f);
-    if (cbs_.on_send_failed) cbs_.on_send_failed(f);
+    if (sink_ != nullptr) {
+      sink_->dispatch_send_failed(f);
+    } else if (cbs_.on_send_failed) {
+      cbs_.on_send_failed(f);
+    }
   }
 }
 
@@ -75,11 +80,15 @@ void Mac::send(Frame frame) {
   if (queue_.size() >= config_.queue_limit) {
     metrics_.add("mac.queue_drop");
     trace_drop(frame);
-    if (cbs_.on_send_failed) cbs_.on_send_failed(frame);
+    if (sink_ != nullptr) {
+      sink_->dispatch_send_failed(frame);
+    } else if (cbs_.on_send_failed) {
+      cbs_.on_send_failed(frame);
+    }
     return;
   }
   queue_.push_back(std::move(frame));
-  metrics_.add("mac.enqueued");
+  enqueued_.add(metrics_);
   if (state_ == State::kIdle) try_start();
 }
 
@@ -107,7 +116,7 @@ void Mac::defer() {
   sched_.after(wait, [this] {
     if (state_ != State::kDeferring) return;
     if (channel_.busy_at(self_)) {
-      metrics_.add("mac.cs_busy");
+      cs_busy_.add(metrics_);
       cw_ = std::min(cw_ * 2, config_.cw_max);
       defer();
     } else {
@@ -118,7 +127,7 @@ void Mac::defer() {
 
 void Mac::begin_transmission() {
   state_ = State::kTransmitting;
-  metrics_.add("mac.tx_attempts");
+  tx_attempts_.add(metrics_);
   channel_.transmit(self_, queue_.front(), [this] { on_tx_done(); });
 }
 
@@ -139,7 +148,7 @@ void Mac::on_tx_done() {
 
 void Mac::on_ack_timeout() {
   if (state_ != State::kAwaitingAck) return;
-  metrics_.add("mac.ack_timeout");
+  ack_timeout_count_.add(metrics_);
   ++retries_;
   if (retries_ > config_.max_retries) {
     finish_current(false);
@@ -160,11 +169,15 @@ void Mac::finish_current(bool success) {
     ack_timer_armed_ = false;
   }
   if (success) {
-    metrics_.add("mac.tx_ok");
+    tx_ok_.add(metrics_);
   } else {
     metrics_.add("mac.tx_failed");
     trace_drop(done);
-    if (cbs_.on_send_failed) cbs_.on_send_failed(done);
+    if (sink_ != nullptr) {
+      sink_->dispatch_send_failed(done);
+    } else if (cbs_.on_send_failed) {
+      cbs_.on_send_failed(done);
+    }
   }
   if (!queue_.empty()) try_start();
 }
@@ -181,7 +194,7 @@ void Mac::send_ack(const Frame& data_frame) {
   // ACKs bypass contention: fire after a short inter-frame space, like
   // 802.11/802.15.4. They can still collide — that is physics.
   sched_.after(sim::seconds(config_.sifs_s), [this, ack = std::move(ack)] {
-    metrics_.add("mac.ack_sent");
+    ack_sent_.add(metrics_);
     channel_.transmit(self_, ack, nullptr);
   });
 }
@@ -197,7 +210,7 @@ void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
       WireReader r(frame.payload);
       const std::uint32_t acked_seq = r.u32();
       if (acked_seq == queue_.front().seq && frame.src == queue_.front().dst) {
-        metrics_.add("mac.ack_received");
+        ack_received_.add(metrics_);
         finish_current(true);
       }
     } catch (const WireError&) {
@@ -206,33 +219,53 @@ void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
     return;
   }
 
-  // Duplicate suppression: sequence numbers are monotone per sender
-  // (one frame in flight at a time), so a repeat means the sender
-  // missed our ACK and retransmitted. Re-ACK but do not re-deliver.
-  const auto [it, first_from_sender] = last_seen_seq_.try_emplace(frame.src, frame.seq);
-  const bool duplicate = !first_from_sender && frame.seq <= it->second;
-  if (!duplicate) it->second = frame.seq;
+  // Broadcasts are transmitted exactly once (no ACK, hence no
+  // retransmission) and MAC sequence numbers are strictly monotone per
+  // sender for the lifetime of the run (send() stamps src and seq;
+  // power cycles reuse the Mac, so next_seq_ never resets), so a
+  // broadcast can never repeat a previously seen sequence: skip the
+  // per-sender dedup-table touch — a near-guaranteed cache miss on the
+  // hottest reception path (floods are broadcast).
+  if (frame.is_broadcast()) {
+    if (sink_ != nullptr) {
+      sink_->dispatch_receive(frame);
+    } else if (cbs_.on_deliver) {
+      cbs_.on_deliver(frame);
+    }
+    return;
+  }
+
+  // Duplicate suppression (unicast): sequence numbers are monotone per
+  // sender (one frame in flight at a time), so a repeat means the
+  // sender missed our ACK and retransmitted. Re-ACK but do not
+  // re-deliver.
+  if (frame.src >= last_seen_seq_.size()) last_seen_seq_.resize(frame.src + 1, 0);
+  std::uint32_t& last_seen = last_seen_seq_[frame.src];
+  const bool duplicate = last_seen != 0 && frame.seq <= last_seen;
+  if (!duplicate) last_seen = frame.seq;
 
   if (frame.dst == self_) {
     send_ack(frame);
     if (duplicate) {
-      metrics_.add("mac.duplicate_suppressed");
+      dup_suppressed_.add(metrics_);
       return;
     }
-    if (cbs_.on_deliver) cbs_.on_deliver(frame);
-  } else if (frame.is_broadcast()) {
-    if (duplicate) {
-      metrics_.add("mac.duplicate_suppressed");
-      return;
+    if (sink_ != nullptr) {
+      sink_->dispatch_receive(frame);
+    } else if (cbs_.on_deliver) {
+      cbs_.on_deliver(frame);
     }
-    if (cbs_.on_deliver) cbs_.on_deliver(frame);
   } else {
     // Addressed elsewhere: promiscuous overhearing path.
     if (duplicate) {
-      metrics_.add("mac.duplicate_suppressed");
+      dup_suppressed_.add(metrics_);
       return;
     }
-    if (cbs_.on_overhear) cbs_.on_overhear(frame);
+    if (sink_ != nullptr) {
+      sink_->dispatch_overhear(frame);
+    } else if (cbs_.on_overhear) {
+      cbs_.on_overhear(frame);
+    }
   }
 }
 

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/channel.h"
 #include "net/packet.h"
@@ -20,6 +20,8 @@
 #include "sim/scheduler.h"
 
 namespace icpda::net {
+
+class Node;
 
 struct MacConfig {
   /// Contention slot. Deliberately on the order of a frame airtime
@@ -54,6 +56,13 @@ class Mac {
   Mac& operator=(const Mac&) = delete;
 
   void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
+
+  /// Production fast path (Network::wire): route deliveries,
+  /// overhears and send failures straight into the owning Node's
+  /// dispatch_* methods instead of through the std::function hooks —
+  /// two of the three fire once per intact reception. A non-null sink
+  /// takes precedence over `cbs_`; test rigs keep using Callbacks.
+  void set_sink(Node* node) { sink_ = node; }
 
   /// Attach a tracer: backoff draws record kBackoffSlots and every
   /// frame the MAC gives up on (queue overflow, retry exhaustion,
@@ -103,8 +112,20 @@ class Mac {
   MacConfig config_;
   sim::Tracer* tracer_ = nullptr;
   Callbacks cbs_;
+  Node* sink_ = nullptr;
 
   void trace_drop(const Frame& frame);
+
+  /// Pre-bound handles for the per-frame counters (the rare paths —
+  /// drops, purges, malformed ACKs — stay on the string-keyed add()).
+  sim::MetricRegistry::Cell enqueued_{"mac.enqueued"};
+  sim::MetricRegistry::Cell tx_attempts_{"mac.tx_attempts"};
+  sim::MetricRegistry::Cell tx_ok_{"mac.tx_ok"};
+  sim::MetricRegistry::Cell ack_sent_{"mac.ack_sent"};
+  sim::MetricRegistry::Cell ack_received_{"mac.ack_received"};
+  sim::MetricRegistry::Cell dup_suppressed_{"mac.duplicate_suppressed"};
+  sim::MetricRegistry::Cell cs_busy_{"mac.cs_busy"};
+  sim::MetricRegistry::Cell ack_timeout_count_{"mac.ack_timeout"};
 
   std::deque<Frame> queue_;
   State state_ = State::kIdle;
@@ -116,7 +137,10 @@ class Mac {
   bool ack_timer_armed_ = false;
   /// Highest data-frame sequence seen per sender; suppresses the
   /// duplicate deliveries a lost ACK + retransmission would cause.
-  std::unordered_map<NodeId, std::uint32_t> last_seen_seq_;
+  /// Flat array indexed by sender id (node ids are dense small
+  /// integers); 0 means "nothing seen" — valid because the MAC stamps
+  /// sequences from next_seq_, which starts at 1.
+  std::vector<std::uint32_t> last_seen_seq_;
 
   void try_start();
   void defer();

@@ -41,31 +41,25 @@ void Network::wire() {
     macs_.back()->set_tracer(&tracer_);
     nodes_.push_back(std::make_unique<Node>(id, *this, rng_.fork("node", id)));
   }
-  // Delivery path: channel -> receiving MAC -> node -> app. A dead
-  // receiver's radio is off: the frame dissipates unheard (the MAC's
-  // own down flag backstops this, but filtering here keeps the metric
-  // honest).
-  channel_->set_delivery([this](NodeId receiver, const Frame& frame, ReceptionStatus st) {
-    if (!nodes_[receiver]->alive()) {
-      metrics_.add("channel.rx_dead");
-      return;
-    }
-    macs_[receiver]->handle_reception(frame, st);
-  });
+  // Delivery path: channel -> receiving MAC -> node -> app, wired as
+  // direct sinks (no std::function hop on either leg — they fire once
+  // per in-range node per frame). Dead-receiver filtering and its
+  // channel.rx_dead accounting moved into Channel::deliver; the arrays
+  // handed to set_sink never reallocate after this point.
+  alive_.assign(topology_.size(), 1);
+  mac_raw_.reserve(topology_.size());
   for (NodeId id = 0; id < topology_.size(); ++id) {
-    Node* node = nodes_[id].get();
-    Mac::Callbacks cbs;
-    cbs.on_deliver = [node](const Frame& f) { node->dispatch_receive(f); };
-    cbs.on_overhear = [node](const Frame& f) { node->dispatch_overhear(f); };
-    cbs.on_send_failed = [node](const Frame& f) { node->dispatch_send_failed(f); };
-    macs_[id]->set_callbacks(std::move(cbs));
+    mac_raw_.push_back(macs_[id].get());
+    macs_[id]->set_sink(nodes_[id].get());
   }
+  channel_->set_sink(mac_raw_.data(), alive_.data());
 }
 
 void Network::set_node_down(NodeId id) {
   if (id == base_station()) return;  // the sink never crashes
   if (!nodes_.at(id)->alive()) return;
   nodes_[id]->set_alive(false);
+  alive_[id] = 0;
   macs_[id]->power_off();
   // Crash mid-phase: close every open span so traces stay balanced.
   tracer_.interrupt(id, scheduler_.now());
@@ -75,6 +69,7 @@ void Network::set_node_down(NodeId id) {
 void Network::set_node_up(NodeId id) {
   if (nodes_.at(id)->alive()) return;
   nodes_[id]->set_alive(true);
+  alive_[id] = 1;
   macs_[id]->power_on();
   metrics_.add("net.node_up");
 }

@@ -117,6 +117,14 @@ class Network {
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Mac>> macs_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Dense raw-pointer mirror of macs_, handed to Channel::set_sink —
+  /// the delivery loop indexes it once per receiver per frame.
+  std::vector<Mac*> mac_raw_;
+  /// Dense mirror of each node's alive flag, maintained by
+  /// set_node_down/up: the delivery path checks liveness once per
+  /// receiver per frame, and a byte load from this array replaces a
+  /// pointer chase into the heap-scattered Node objects.
+  std::vector<std::uint8_t> alive_;
 };
 
 }  // namespace icpda::net

@@ -11,7 +11,7 @@ sim::EventId Node::schedule(sim::SimTime delay, sim::EventFn fn) {
   // crashes loses its pending application timers (its program state is
   // gone), and a node that was down when the timer was set may be back
   // up when it fires.
-  return network_.scheduler().after(delay, [this, fn = std::move(fn)] {
+  return network_.scheduler().after(delay, [this, fn = std::move(fn)]() mutable {
     if (alive_) fn();
   });
 }

@@ -61,6 +61,25 @@ double Histogram::quantile(double q) const {
   return bucket_hi(counts_.size() - 1);
 }
 
+void MetricRegistry::add_slow(CacheEntry& e, std::string_view counter,
+                              std::uint64_t delta) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(counter), std::uint64_t{0}).first;
+  }
+  it->second += delta;
+  e.name = &it->first;
+  e.value = &it->second;
+}
+
+void MetricRegistry::observe(std::string_view stat, double value) {
+  auto it = stats_.find(stat);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(stat), RunningStats{}).first;
+  }
+  it->second.add(value);
+}
+
 void MetricRegistry::merge(const MetricRegistry& other) {
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
   for (const auto& [name, s] : other.stats_) stats_[name].merge(s);

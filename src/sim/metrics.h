@@ -7,12 +7,15 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace icpda::sim {
@@ -89,35 +92,100 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
-/// Named counters + named stats; cheap lookup by string, which is fine
-/// at protocol-event granularity (thousands of events per run).
+/// Named counters + named stats.
+///
+/// add() is on the per-frame hot path (the MAC bumps several counters
+/// per reception), so it takes a string_view — no std::string
+/// temporary, hence no heap allocation for names past the SSO limit —
+/// and memoizes the map slot in a small direct-mapped cache keyed by
+/// the name's address. Counter names are string literals at every call
+/// site, so the same call site hits the same cache line every time; a
+/// content check (length + memcmp against the stored map key) keeps a
+/// reused heap address from aliasing a stale entry. The cache affects
+/// only speed, never values, so results stay deterministic.
 class MetricRegistry {
  public:
-  void add(const std::string& counter, std::uint64_t delta = 1) {
-    counters_[counter] += delta;
+  MetricRegistry() = default;
+  // The cache holds pointers into this registry's own map nodes, so it
+  // must not travel with copies/moves (a default-copied cache would
+  // dangle into — or worse, alias — the source registry's nodes).
+  MetricRegistry(const MetricRegistry& other)
+      : counters_(other.counters_), stats_(other.stats_) {}
+  MetricRegistry& operator=(const MetricRegistry& other) {
+    counters_ = other.counters_;
+    stats_ = other.stats_;
+    reset_cache();
+    return *this;
   }
-  void observe(const std::string& stat, double value) { stats_[stat].add(value); }
+  MetricRegistry(MetricRegistry&& other) noexcept
+      : counters_(std::move(other.counters_)), stats_(std::move(other.stats_)) {
+    other.reset_cache();
+  }
+  MetricRegistry& operator=(MetricRegistry&& other) noexcept {
+    counters_ = std::move(other.counters_);
+    stats_ = std::move(other.stats_);
+    reset_cache();
+    other.reset_cache();
+    return *this;
+  }
 
-  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+  void add(std::string_view counter, std::uint64_t delta = 1) {
+    CacheEntry& e = cache_[slot_of(counter)];
+    if (e.name != nullptr && e.name->size() == counter.size() &&
+        std::memcmp(e.name->data(), counter.data(), counter.size()) == 0) {
+      *e.value += delta;
+      return;
+    }
+    add_slow(e, counter, delta);
+  }
+
+  /// A pre-bound counter handle for call sites even hotter than the
+  /// direct-mapped cache can serve (the channel touches a counter per
+  /// receiver per frame — millions of times per epoch). The handle
+  /// resolves its map cell on first add() — lazily, so a counter that
+  /// is never incremented still never appears in dumps — and then
+  /// costs a test + pointer increment. std::map nodes are stable, so
+  /// the cell outlives later inserts; like the internal cache, a
+  /// handle must not be used across its registry's clear()/assignment
+  /// (no call site does either mid-run).
+  class Cell {
+   public:
+    /// `name` must outlive the handle (string literals at every site).
+    explicit Cell(std::string_view name) : name_(name) {}
+
+    void add(MetricRegistry& reg, std::uint64_t delta = 1) {
+      if (value_ == nullptr) value_ = reg.cell_of(name_);
+      *value_ += delta;
+    }
+
+   private:
+    std::string_view name_;
+    std::uint64_t* value_ = nullptr;
+  };
+  void observe(std::string_view stat, double value);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
-  [[nodiscard]] const RunningStats& stat(const std::string& name) const {
+  [[nodiscard]] const RunningStats& stat(std::string_view name) const {
     static const RunningStats kEmpty;
     const auto it = stats_.find(name);
     return it == stats_.end() ? kEmpty : it->second;
   }
 
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters()
+      const {
     return counters_;
   }
-  [[nodiscard]] const std::map<std::string, RunningStats>& stats() const {
+  [[nodiscard]] const std::map<std::string, RunningStats, std::less<>>& stats() const {
     return stats_;
   }
 
   void clear() {
     counters_.clear();
     stats_.clear();
+    reset_cache();
   }
 
   /// Fold another registry into this one: counters add, stats merge.
@@ -130,8 +198,34 @@ class MetricRegistry {
   void print(std::ostream& os) const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, RunningStats> stats_;
+  /// Memo of one resolved counter per slot: the map key (for the
+  /// content check) and its value cell. std::map nodes are stable, so
+  /// both pointers survive later inserts; only clear()/copy/move
+  /// invalidate them.
+  struct CacheEntry {
+    const std::string* name = nullptr;
+    std::uint64_t* value = nullptr;
+  };
+  static constexpr std::size_t kCacheSlots = 64;
+
+  [[nodiscard]] static std::size_t slot_of(std::string_view name) {
+    // Literals are word-aligned-ish; dropping the low bits spreads
+    // distinct call sites across slots.
+    return (reinterpret_cast<std::uintptr_t>(name.data()) >> 4) % kCacheSlots;
+  }
+  void add_slow(CacheEntry& e, std::string_view counter, std::uint64_t delta);
+  void reset_cache() { cache_.fill(CacheEntry{}); }
+
+  /// Insert-or-find the counter and return its stable value cell.
+  [[nodiscard]] std::uint64_t* cell_of(std::string_view name) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return &it->second;
+    return &counters_.emplace(std::string(name), 0).first->second;
+  }
+
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, RunningStats, std::less<>> stats_;
+  std::array<CacheEntry, kCacheSlots> cache_{};
 };
 
 }  // namespace icpda::sim

@@ -17,47 +17,46 @@ EventId Scheduler::at(SimTime t, EventFn fn) {
     s = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    s = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    s = static_cast<std::uint32_t>(meta_.size());
+    meta_.emplace_back();
+    fns_.emplace_back();
   }
-  Slot& slot = slots_[s];
-  slot.at = t;
-  slot.seq = next_seq_++;
-  slot.fn = std::move(fn);
-  slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(s);
+  Meta& m = meta_[s];
+  fns_[s] = std::move(fn);
+  m.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{t, next_seq_++, s});
   sift_up(heap_.size() - 1);
-  return encode(s, slot.gen);
+  return encode(s, m.gen);
 }
 
 bool Scheduler::cancel(EventId id) {
   const auto raw = static_cast<std::uint64_t>(id);
   const auto s = static_cast<std::uint32_t>(raw & 0xFFFFFFFFu);
   const auto gen = static_cast<std::uint32_t>(raw >> 32);
-  if (s >= slots_.size()) return false;
-  const Slot& slot = slots_[s];
-  if (slot.gen != gen || slot.heap_pos == kNotQueued) return false;  // fired or stale
-  remove_at(slot.heap_pos);
+  if (s >= meta_.size()) return false;
+  const Meta& m = meta_[s];
+  if (m.gen != gen || m.heap_pos == kNotQueued) return false;  // fired or stale
+  remove_at(m.heap_pos);
   return true;
 }
 
 void Scheduler::sift_up(std::size_t pos) {
-  const std::uint32_t s = heap_[pos];
+  const HeapEntry e = heap_[pos];
   while (pos > 0) {
     const std::size_t parent = (pos - 1) / 4;
-    const std::uint32_t p = heap_[parent];
-    if (!before(s, p)) break;
+    const HeapEntry& p = heap_[parent];
+    if (!before(e, p)) break;
     heap_[pos] = p;
-    slots_[p].heap_pos = static_cast<std::uint32_t>(pos);
+    meta_[p.slot].heap_pos = static_cast<std::uint32_t>(pos);
     pos = parent;
   }
-  heap_[pos] = s;
-  slots_[s].heap_pos = static_cast<std::uint32_t>(pos);
+  heap_[pos] = e;
+  meta_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
 }
 
 void Scheduler::sift_down(std::size_t pos) {
   const std::size_t n = heap_.size();
-  const std::uint32_t s = heap_[pos];
+  const HeapEntry e = heap_[pos];
   while (true) {
     const std::size_t first = 4 * pos + 1;
     if (first >= n) break;
@@ -66,54 +65,53 @@ void Scheduler::sift_down(std::size_t pos) {
     for (std::size_t c = first + 1; c < last; ++c) {
       if (before(heap_[c], heap_[best])) best = c;
     }
-    const std::uint32_t b = heap_[best];
-    if (!before(b, s)) break;
+    const HeapEntry b = heap_[best];
+    if (!before(b, e)) break;
     heap_[pos] = b;
-    slots_[b].heap_pos = static_cast<std::uint32_t>(pos);
+    meta_[b.slot].heap_pos = static_cast<std::uint32_t>(pos);
     pos = best;
   }
-  heap_[pos] = s;
-  slots_[s].heap_pos = static_cast<std::uint32_t>(pos);
+  heap_[pos] = e;
+  meta_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
 }
 
 void Scheduler::remove_at(std::size_t pos) {
-  release(heap_[pos]);
-  const std::uint32_t moved = heap_.back();
+  release(heap_[pos].slot);
+  const HeapEntry moved = heap_.back();
   heap_.pop_back();
   if (pos == heap_.size()) return;  // removed the tail
   heap_[pos] = moved;
-  slots_[moved].heap_pos = static_cast<std::uint32_t>(pos);
+  meta_[moved.slot].heap_pos = static_cast<std::uint32_t>(pos);
   // The replacement came from the bottom: it can only need to move
   // down, unless the removal hole was below its parent (possible when
   // removing from the middle) — try both; one is a no-op.
   sift_up(pos);
-  sift_down(slots_[moved].heap_pos);
+  sift_down(meta_[moved.slot].heap_pos);
 }
 
 void Scheduler::release(std::uint32_t s) {
-  Slot& slot = slots_[s];
-  slot.fn = nullptr;  // drop captured state now, not at slot reuse
-  slot.heap_pos = kNotQueued;
-  ++slot.gen;
+  fns_[s] = nullptr;  // drop captured state now, not at slot reuse
+  Meta& m = meta_[s];
+  m.heap_pos = kNotQueued;
+  ++m.gen;
   free_slots_.push_back(s);
 }
 
 bool Scheduler::pop_next(SimTime& at, EventId& id, EventFn& fn) {
   if (heap_.empty()) return false;
-  const std::uint32_t s = heap_[0];
-  Slot& slot = slots_[s];
-  at = slot.at;
-  id = encode(s, slot.gen);
-  fn = std::move(slot.fn);
-  slot.fn = nullptr;
-  slot.heap_pos = kNotQueued;
-  ++slot.gen;
+  const std::uint32_t s = heap_[0].slot;
+  Meta& m = meta_[s];
+  at = heap_[0].at;
+  id = encode(s, m.gen);
+  fn = std::move(fns_[s]);  // move empties the slab cell
+  m.heap_pos = kNotQueued;
+  ++m.gen;
   free_slots_.push_back(s);
-  const std::uint32_t moved = heap_.back();
+  const HeapEntry moved = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) {
     heap_[0] = moved;
-    slots_[moved].heap_pos = 0;
+    meta_[moved.slot].heap_pos = 0;
     sift_down(0);
   }
   return true;
@@ -136,7 +134,7 @@ std::uint64_t Scheduler::run_until(SimTime deadline) {
   SimTime at;
   EventId id;
   EventFn fn;
-  while (!heap_.empty() && slots_[heap_[0]].at <= deadline) {
+  while (!heap_.empty() && heap_[0].at <= deadline) {
     pop_next(at, id, fn);
     dispatch(at, id, fn);
     ++fired;
@@ -158,7 +156,7 @@ std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
 }
 
 void Scheduler::reset() {
-  for (const std::uint32_t s : heap_) release(s);
+  for (const HeapEntry& e : heap_) release(e.slot);
   heap_.clear();
   now_ = SimTime::zero();
   executed_ = 0;

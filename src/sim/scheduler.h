@@ -8,13 +8,17 @@
 // here; there are no threads and no wall-clock dependence, so a run is
 // a deterministic function of (configuration, RNG seed).
 //
-// Representation (DESIGN.md §5f): an indexed 4-ary min-heap over a
-// slab of event slots. The heap array holds 4-byte slot indices keyed
-// by (time, schedule-sequence); each slot stores its own heap position,
-// so cancel() removes the event from the middle of the heap in
-// O(log n) — no tombstones, no hash tables, no per-event allocation
-// beyond what the closure itself needs. EventIds encode
-// (generation, slot), making stale ids self-invalidating.
+// Representation (DESIGN.md §5f, §5i): an indexed 4-ary min-heap over
+// a slab of event slots. The heap array stores (time, seq, slot)
+// entries inline, so sift compares stream contiguous 24-byte records
+// with no per-compare gather into a side table; each slot records its
+// own heap position, so cancel() removes the event from the middle of
+// the heap in O(log n) — no tombstones, no hash tables, no per-event
+// allocation beyond what the closure itself needs. EventIds encode
+// (generation, slot), making stale ids self-invalidating. The
+// callables live in a slab parallel to the slot metadata and are
+// touched exactly twice per event (store at schedule, move-out at
+// pop) — never during heap maintenance.
 #pragma once
 
 #include <cstdint>
@@ -78,26 +82,34 @@ class Scheduler {
   /// Sentinel heap position marking a slot as free / not queued.
   static constexpr std::uint32_t kNotQueued = 0xFFFFFFFF;
 
-  /// One event slot in the slab. `seq` is the monotone schedule-order
-  /// tie-break key; `gen` validates EventIds across slot reuse.
-  struct Slot {
-    SimTime at;
-    std::uint64_t seq = 0;
+  /// Per-slot identity metadata (8 bytes): `gen` validates EventIds
+  /// across slot reuse, `heap_pos` lets cancel() find the slot's heap
+  /// entry. The ordering keys live in the heap entries themselves.
+  struct Meta {
     std::uint32_t gen = 0;
     std::uint32_t heap_pos = kNotQueued;
-    EventFn fn;
+  };
+
+  /// One queued event as the heap sees it: the full ordering key plus
+  /// the slot index, stored inline so sift compares walk contiguous
+  /// 24-byte records (four children share two cache lines) instead of
+  /// gathering keys from a side table. `seq` is the monotone
+  /// schedule-order tie-break — THE determinism anchor: two events at
+  /// the same instant always fire in schedule order.
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
   [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
     return static_cast<EventId>((static_cast<std::uint64_t>(gen) << 32) | slot);
   }
 
-  /// Strict (time, seq) ordering between two queued slots.
-  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
-    const Slot& sa = slots_[a];
-    const Slot& sb = slots_[b];
-    if (sa.at != sb.at) return sa.at < sb.at;
-    return sa.seq < sb.seq;
+  /// Strict (time, seq) ordering between two queued events.
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
   }
 
   void sift_up(std::size_t pos);
@@ -127,12 +139,14 @@ class Scheduler {
   /// callback can freely schedule (and reuse storage).
   bool pop_next(SimTime& at, EventId& id, EventFn& fn);
 
-  std::vector<Slot> slots_;
+  std::vector<Meta> meta_;
+  /// Callable slab, parallel to meta_.
+  std::vector<EventFn> fns_;
   std::vector<std::uint32_t> free_slots_;
-  /// 4-ary min-heap of slot indices keyed by (Slot::at, Slot::seq).
-  /// Four-way beats binary here: half the tree depth, and the extra
-  /// sibling compares ride one cache line of 4-byte indices.
-  std::vector<std::uint32_t> heap_;
+  /// 4-ary min-heap of (time, seq, slot) entries. Four-way beats
+  /// binary here: half the tree depth, and the sibling compares stream
+  /// adjacent inline keys.
+  std::vector<HeapEntry> heap_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -14,7 +14,7 @@ repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cd "$repo_root"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-filter="${1:-FaultInjectionTest|MacFailureTest|LossGuardTest|TraceTest|TraceConservationTest|AttackTest|ServiceTest}"
+filter="${1:-FaultInjectionTest|MacFailureTest|LossGuardTest|TraceTest|TraceConservationTest|AttackTest|ServiceTest|CryptoBatchTest|CpdaExactPathTest|EpochArenaTest|AllocRegressionTest}"
 
 echo "== pass 1/2: asan (address+undefined) =="
 cmake --preset asan

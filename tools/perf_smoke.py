@@ -2,13 +2,18 @@
 """Perf-regression smoke over the bench_micro hot-kernel baselines.
 
 Runs bench_micro (google-benchmark JSON output), extracts the DES
-substrate kernels, and compares them against the checked-in baselines
-(BENCH_PR4.json for the substrate kernels, BENCH_PR7.json for the
-continuous-query service pipeline), printing a per-kernel wall-clock
-delta. The step is advisory by default (exit 0 regardless of deltas):
-CI runners have noisy clocks, so timing regressions are flagged for a
-human, not gated. Pass --max-regress PCT to turn it into a gate
-locally.
+substrate + protocol hot-path kernels, and compares them against the
+checked-in baseline (BENCH_PR8.json — one comprehensive file; the
+older BENCH_PR4/PR7 files are kept as history), printing a per-kernel
+wall-clock delta. The step is advisory by default (exit 0 regardless
+of deltas): CI runners have noisy clocks, so timing regressions are
+flagged for a human, not gated. Pass --max-regress PCT to turn it
+into a gate locally.
+
+Improvements beyond 10x are also flagged as suspicious: a kernel that
+suddenly runs in a tenth of its baseline usually means the compiler
+eliminated the measured work (a DoNotOptimize went missing) or the
+kernel's workload silently shrank, not a real win.
 
 --baseline may be repeated; all files are merged for the comparison.
 Regenerate one baseline on a quiet machine after an intentional perf
@@ -16,9 +21,7 @@ change (--update requires exactly one --baseline and writes only the
 kernels the filter matched):
 
     python3 tools/perf_smoke.py --bench build/bench/bench_micro \
-        --baseline BENCH_PR4.json --big-n --update
-    python3 tools/perf_smoke.py --bench build/bench/bench_micro \
-        --baseline BENCH_PR7.json --filter BM_ServicePipeline --update
+        --baseline BENCH_PR8.json --big-n --update
 
 --big-n sets ICPDA_BIG_N=1 so the expensive T3 scaling points
 (BM_IcpdaEpoch/3000..5000, single-iteration) are registered too.
@@ -34,10 +37,14 @@ import sys
 DEFAULT_FILTER = (
     "BM_SchedulerChurn|BM_SchedulerPushPop|BM_SchedulerCancel|"
     "BM_ChannelBroadcastFanout|BM_IcpdaEpoch|BM_TopologyBuild|"
-    "BM_ServicePipeline"
+    "BM_ServicePipeline|BM_MakeShares|BM_SolveClusterSum|BM_SealOpen|"
+    "BM_Prf64|BM_LinkKeyBatch"
 )
 
-DEFAULT_BASELINES = ["BENCH_PR4.json", "BENCH_PR7.json"]
+DEFAULT_BASELINES = ["BENCH_PR8.json"]
+
+# cur < base / SUSPICIOUS_SPEEDUP is treated as "too good to be true".
+SUSPICIOUS_SPEEDUP = 10.0
 
 
 def run_bench(bench, bench_filter, big_n):
@@ -112,6 +119,7 @@ def main():
                 baseline[name] = entry
 
     worst = 0.0
+    suspicious = []
     width = max(len(n) for n in baseline)
     print(f"{'kernel':<{width}}  {'baseline':>12}  {'now':>12}  delta")
     for name, base in sorted(baseline.items()):
@@ -125,8 +133,17 @@ def main():
         delta = 100.0 * (cur["real_time"] - base["real_time"]) / base["real_time"]
         worst = max(worst, delta)
         unit = base["time_unit"]
+        flag = ""
+        if cur["real_time"] < base["real_time"] / SUSPICIOUS_SPEEDUP:
+            suspicious.append(name)
+            flag = "  SUSPICIOUS"
         print(f"{name:<{width}}  {base['real_time']:>10.1f}{unit}  "
-              f"{cur['real_time']:>10.1f}{unit}  {delta:+.1f}%")
+              f"{cur['real_time']:>10.1f}{unit}  {delta:+.1f}%{flag}")
+    for name in suspicious:
+        print(f"perf_smoke: WARNING: {name} improved more than "
+              f"{SUSPICIOUS_SPEEDUP:.0f}x over its baseline — verify the "
+              f"kernel still measures real work (DoNotOptimize intact, "
+              f"workload unchanged) before celebrating or re-baselining")
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<{width}}  (new kernel — not in baseline)")
 
