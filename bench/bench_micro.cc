@@ -8,6 +8,7 @@
 // so keep their names and Arg lists stable.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <optional>
 #include <vector>
@@ -183,9 +184,13 @@ void BM_IcpdaEpoch(benchmark::State& state) {
   // Full iCPDA epochs on one paper-density deployment: the end-to-end
   // number the T3 wall-clock-vs-N experiment tracks. The deployment is
   // built outside the timed region; each iteration is one epoch.
+  // Always single-shard (the perf-baseline kernel must not drift with
+  // the caller's ICPDA_SHARDS) — BM_IcpdaEpochSharded owns that axis.
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto keys = bench::default_keys();
-  net::Network network(bench::paper_network(n, 0x9E3779B9));
+  net::NetworkConfig net_cfg = bench::paper_network(n, 0x9E3779B9);
+  net_cfg.shards = 1;
+  net::Network network(net_cfg);
   const core::IcpdaConfig cfg;
   std::uint64_t events = 0;
   for (auto _ : state) {
@@ -199,6 +204,59 @@ void BM_IcpdaEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_IcpdaEpoch)->Arg(500)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
 
+void BM_IcpdaEpochSharded(benchmark::State& state) {
+  // The sharded engine on one constant-density deployment:
+  // range(0) = N, range(1) = shard count. The field scales as
+  // 20*sqrt(N) per side so neighbourhood size (and hence per-node
+  // work) stays at the paper's density while N grows — at the default
+  // 400x400 field, N=100k would be one giant collision domain.
+  // Events come from the engine's own counters: in a sharded Network
+  // scheduler() is a detached empty heap, so executed() reads zero.
+  // parallel_fraction is the share of events drained inside concurrent
+  // windows (vs the serialized gate) — the upper bound on speedup.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const auto keys = bench::default_keys();
+  net::NetworkConfig net_cfg = bench::paper_network(n, 0x9E3779B9);
+  net_cfg.shards = shards;
+  const double side = 20.0 * std::sqrt(static_cast<double>(n));
+  net_cfg.field_width_m = side;
+  net_cfg.field_height_m = side;
+  net::Network network(net_cfg);
+  const core::IcpdaConfig cfg;
+  std::uint64_t parallel = 0, gated = 0, rounds = 0, gate_rounds = 0;
+  std::uint64_t last_executed = 0;
+  for (auto _ : state) {
+    core::run_icpda_epoch(network, cfg, proto::constant_reading(1.0), keys);
+    if (const net::ShardEngine* eng = network.shard_engine()) {
+      // Engine stats are per-run (one run per epoch); executed() below
+      // is cumulative, hence the delta.
+      parallel += eng->stats().parallel_events;
+      gated += eng->stats().gate_events;
+      rounds += eng->stats().rounds;
+      gate_rounds += eng->stats().gate_rounds;
+    } else {
+      parallel += network.scheduler().executed() - last_executed;
+      last_executed = network.scheduler().executed();
+    }
+  }
+  const double events = static_cast<double>(parallel + gated);
+  state.SetItemsProcessed(static_cast<std::int64_t>(parallel + gated));
+  state.counters["events_per_epoch"] =
+      benchmark::Counter(events / static_cast<double>(state.iterations()));
+  state.counters["parallel_fraction"] = benchmark::Counter(
+      events > 0 ? static_cast<double>(parallel) / events : 1.0);
+  state.counters["rounds_per_epoch"] = benchmark::Counter(
+      static_cast<double>(rounds) / static_cast<double>(state.iterations()));
+  state.counters["gate_round_fraction"] = benchmark::Counter(
+      rounds > 0 ? static_cast<double>(gate_rounds) / static_cast<double>(rounds)
+                 : 0.0);
+}
+BENCHMARK(BM_IcpdaEpochSharded)
+    ->Args({2000, 1})
+    ->Args({2000, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ServicePipeline(benchmark::State& state) {
   // One continuous-query service run: 8 queries offered at 0.4 q/s —
   // past a single slot's capacity — with Arg() in-flight slots. The
@@ -211,7 +269,11 @@ void BM_ServicePipeline(benchmark::State& state) {
   std::uint64_t events = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    net::Network network(bench::paper_network(200, 0x51CDA));
+    // The dispatcher drives network.scheduler() directly and is not
+    // shard-aware (net/network.h): pin shards = 1 regardless of env.
+    net::NetworkConfig net_cfg = bench::paper_network(200, 0x51CDA);
+    net_cfg.shards = 1;
+    net::Network network(net_cfg);
     service::ServiceConfig cfg;
     cfg.offered_load_qps = 0.4;
     cfg.query_count = 8;
@@ -244,15 +306,25 @@ BENCHMARK(BM_TopologyBuild)->Arg(200)->Arg(600)->Arg(2000);
 }  // namespace
 
 // The smoke lane runs every registered benchmark, so the expensive T3
-// scaling points (N=3000..5000 is minutes of wall-clock per pass) are
-// only registered under ICPDA_BIG_N=1 — used when regenerating
-// BENCH_PR4.json and the EXPERIMENTS.md T3 table.
+// scaling points (N=3000..5000 is minutes of wall-clock per pass) and
+// the T5 sharded-engine scaling points (N up to 100k) are only
+// registered under ICPDA_BIG_N=1 — used when regenerating
+// BENCH_PR4.json / BENCH_PR9.json and the EXPERIMENTS.md T3/T5 tables.
 int main(int argc, char** argv) {
   if (std::getenv("ICPDA_BIG_N")) {
     benchmark::RegisterBenchmark("BM_IcpdaEpoch", BM_IcpdaEpoch)
         ->Arg(3000)
         ->Arg(4000)
         ->Arg(5000)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("BM_IcpdaEpochSharded", BM_IcpdaEpochSharded)
+        ->Args({20000, 1})
+        ->Args({20000, 8})
+        ->Args({50000, 1})
+        ->Args({50000, 8})
+        ->Args({100000, 1})
+        ->Args({100000, 8})
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
   }

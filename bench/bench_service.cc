@@ -39,7 +39,12 @@ int main(int argc, char** argv) {
   c.trials = bench::trials();
 
   c.cell = [&keys](runner::CellContext& ctx) {
-    net::Network network(bench::paper_network(kNodes, ctx.seed));
+    // The dispatcher drives network.scheduler() directly and is not
+    // shard-aware (net/network.h): pin shards = 1 regardless of
+    // --shards / ICPDA_SHARDS.
+    net::NetworkConfig net_cfg = bench::paper_network(kNodes, ctx.seed);
+    net_cfg.shards = 1;
+    net::Network network(net_cfg);
 
     service::ServiceConfig cfg;
     cfg.offered_load_qps = ctx.point.get("load_qps");

@@ -59,6 +59,17 @@ inline int trials() {
   return 5;
 }
 
+/// Spatial shards per simulated Network (net/shard_engine.h), from
+/// ICPDA_SHARDS (also set by the runner's --shards flag). Rows are
+/// byte-identical at every value — tests/shard_determinism_test.cc.
+inline std::size_t shards() {
+  if (const char* env = std::getenv("ICPDA_SHARDS")) {
+    const int s = std::atoi(env);
+    if (s > 0) return static_cast<std::size_t>(s);
+  }
+  return 1;
+}
+
 /// The paper-family network sizes (400 m x 400 m field, 50 m range).
 inline const std::vector<std::size_t>& paper_sizes() {
   static const std::vector<std::size_t> sizes{200, 300, 400, 500, 600};
@@ -94,6 +105,7 @@ inline net::NetworkConfig paper_network(std::size_t n, std::uint64_t seed) {
   net::NetworkConfig cfg;
   cfg.node_count = n;
   cfg.seed = seed;
+  cfg.shards = shards();
   return cfg;
 }
 

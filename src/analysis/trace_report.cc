@@ -55,6 +55,10 @@ void add_counter(PhaseStat& stat, TraceCounter c, std::uint64_t value) {
     case TraceCounter::kQueryLaunch:
     case TraceCounter::kQueryComplete:
     case TraceCounter::kQueryDrop:
+    case TraceCounter::kShardRounds:
+    case TraceCounter::kShardGateRounds:
+    case TraceCounter::kShardGateEvents:
+    case TraceCounter::kShardParallelEvents:
     case TraceCounter::kMaxCounter:
       break;  // occurrence counters: no byte bucket
   }
@@ -124,6 +128,40 @@ std::uint64_t trace_digest(const std::vector<TraceEvent>& events) {
     mix(static_cast<std::uint64_t>(ev.kind));
     mix(ev.tag);
     mix(ev.epoch);
+  }
+  return h;
+}
+
+std::uint64_t canonical_trace_digest(const std::vector<TraceEvent>& events) {
+  // Per-node FNV-1a-64 folds (seq excluded), combined ascending by
+  // node id. map keeps the combine order independent of the order
+  // nodes first appear in the stream.
+  std::map<std::uint32_t, std::uint64_t> per_node;
+  for (const TraceEvent& ev : events) {
+    auto [it, inserted] = per_node.try_emplace(ev.node, 1469598103934665603ULL);
+    std::uint64_t& h = it->second;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 1099511628211ULL;
+      }
+    };
+    mix(std::bit_cast<std::uint64_t>(ev.t));
+    mix(ev.value);
+    mix(static_cast<std::uint64_t>(ev.kind));
+    mix(ev.tag);
+    mix(ev.epoch);
+  }
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [node, fold] : per_node) {
+    mix(node);
+    mix(fold);
   }
   return h;
 }

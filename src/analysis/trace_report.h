@@ -66,6 +66,19 @@ struct TraceReport {
 /// bit pattern, never by decimal formatting).
 [[nodiscard]] std::uint64_t trace_digest(const std::vector<sim::TraceEvent>& events);
 
+/// Engine-independent fingerprint: the stream is split into per-node
+/// subsequences, each hashed in order with `seq` excluded, and the
+/// per-node hashes are combined in ascending node id. A node's own
+/// event subsequence is a pure function of (configuration, seed)
+/// regardless of how the run was executed, while the cross-node
+/// interleaving of same-instant events and the seq numbering are
+/// artifacts of the engine (single-heap FIFO vs per-shard rings) —
+/// this digest sees the former and not the latter, so it must agree
+/// across --shards values. Do not enable Tracer shard_counters when
+/// comparing: those global-ring counters are engine-shaped by design.
+[[nodiscard]] std::uint64_t canonical_trace_digest(
+    const std::vector<sim::TraceEvent>& events);
+
 /// One event as a stable single line, e.g.
 /// `seq=12 t=1.234567890 ep=0 node=7 B share_exchange v=0`.
 [[nodiscard]] std::string format_trace_event(const sim::TraceEvent& ev);

@@ -6,11 +6,14 @@ std::uint32_t schedule_fault_plan(net::Network& net, const FaultPlan& plan,
                                   sim::Rng rng,
                                   std::vector<net::NodeId>* crashed_out) {
   if (!plan.active()) return 0;
-  auto& sched = net.scheduler();
   std::uint32_t crashes = 0;
 
+  // Fault events run on the affected node's home-shard scheduler,
+  // owner-tagged: a crash only mutates that node's own state (alive
+  // flag, MAC), which keeps it drainable under the sharded engine.
   const auto schedule_crash = [&](net::NodeId id, double at_s) {
-    sched.after(sim::seconds(at_s), [&net, id] { net.set_node_down(id); });
+    net.scheduler_for(id).after(sim::seconds(at_s),
+                                [&net, id] { net.set_node_down(id); }, id);
     ++crashes;
     if (crashed_out) crashed_out->push_back(id);
   };
@@ -27,10 +30,12 @@ std::uint32_t schedule_fault_plan(net::Network& net, const FaultPlan& plan,
 
   for (const auto& [id, intervals] : plan.outages) {
     if (id == net.base_station() || id >= net.size()) continue;
+    auto& sched = net.scheduler_for(id);
     for (const auto& o : intervals) {
       if (o.up_at_s <= o.down_at_s) continue;
-      sched.after(sim::seconds(o.down_at_s), [&net, id] { net.set_node_down(id); });
-      sched.after(sim::seconds(o.up_at_s), [&net, id] { net.set_node_up(id); });
+      sched.after(sim::seconds(o.down_at_s), [&net, id] { net.set_node_down(id); },
+                  id);
+      sched.after(sim::seconds(o.up_at_s), [&net, id] { net.set_node_up(id); }, id);
     }
   }
   return crashes;

@@ -1630,24 +1630,61 @@ void IcpdaApp::crosscheck_digest(net::Node& node, const proto::ClusterDigestMsg&
 
 namespace {
 
+/// Fold one shard's outcome part into the final outcome. Every field an
+/// app writes during the run is either a per-node tally (summed — each
+/// node bumps exactly one part) or written only by the base station
+/// (result / closed_at / last_report_at / alarms: taken from the single
+/// part that has them; max() is take-if-set since the zero default
+/// never exceeds a real time). coverage / values_lost are computed
+/// after the merge, and nodes_crashed / compromised_nodes are set by
+/// the driver on the final outcome before the run (parts hold zero).
+void merge_outcome_part(IcpdaOutcome& into, IcpdaOutcome& part) {
+  if (part.result) into.result = std::move(part.result);
+  into.closed_at = std::max(into.closed_at, part.closed_at);
+  into.last_report_at = std::max(into.last_report_at, part.last_report_at);
+  for (auto& alarm : part.alarms) into.alarms.push_back(std::move(alarm));
+  into.significant_alarms += part.significant_alarms;
+  into.drop_suspicions += part.drop_suspicions;
+  into.heads += part.heads;
+  into.members += part.members;
+  into.unclustered += part.unclustered;
+  into.reporters += part.reporters;
+  into.degraded_privacy += part.degraded_privacy;
+  into.clusters_failed += part.clusters_failed;
+  into.pollution_events += part.pollution_events;
+  for (const auto& [size, n] : part.cluster_sizes) into.cluster_sizes[size] += n;
+  into.nodes_crashed += part.nodes_crashed;
+  into.reroutes += part.reroutes;
+  into.values_lost += part.values_lost;
+  into.compromised_nodes += part.compromised_nodes;
+  into.replay_rejections += part.replay_rejections;
+  into.withholders_flagged += part.withholders_flagged;
+  into.crosscheck_alarms += part.crosscheck_alarms;
+  into.rosters_refused += part.rosters_refused;
+}
+
 /// Shared epoch tail: bounded horizon, trace finalization, coverage.
 /// `outcome` is the SAME object the attached apps point at — by
 /// reference, so everything the BS writes during net.run() lands here.
+/// Sharded runs instead hand each app its shard's entry in `parts`
+/// (concurrent drains must not share a tally sink); the parts fold into
+/// `outcome` here, in shard order, before coverage is computed.
 void run_epoch_tail(net::Network& net, const IcpdaConfig& config,
-                    IcpdaOutcome& outcome) {
+                    IcpdaOutcome& outcome, std::vector<IcpdaOutcome>& parts) {
   // Bounded horizon: the epoch is over shortly after the BS closes;
   // whatever straggler events remain (late alarms, MAC drain) cannot
   // matter beyond a grace period, and a hard bound keeps any
   // congestion pathology from running the simulation forever. Relative
   // to now() so a second epoch can run on the same Network.
-  const auto horizon = net.scheduler().now() +
+  const auto horizon = net.now() +
                        sim::seconds(config.timing.start_delay_s +
                                     config.phase2_budget_s) +
                        config.timing.close_delay() + sim::seconds(3.0);
   net.run(horizon);
+  for (IcpdaOutcome& part : parts) merge_outcome_part(outcome, part);
   // Balance the trace: close every span still open (stragglers, nodes
   // that crashed after their last event) and stamp the epoch boundary.
-  net.tracer().finalize_epoch(net.scheduler().now());
+  net.tracer().finalize_epoch(net.now());
   // Coverage is judged against the nodes still alive at epoch end: a
   // crashed node's reading is gone by definition, but every survivor's
   // reading should have made it into the accepted aggregate.
@@ -1669,11 +1706,22 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
                              const crypto::KeyScheme& keys, const AttackPlan& attack,
                              const FaultPlan& faults) {
   IcpdaOutcome outcome;
-  net.attach_apps([&](net::Node&) {
-    return std::make_unique<IcpdaApp>(config, readings, &keys, &attack, &outcome);
-  });
+  // Sharded run: apps on concurrent shards cannot share one tally sink,
+  // so each shard accumulates into its own part (folded by the tail).
+  std::vector<IcpdaOutcome> parts(net.shard_count() > 1 ? net.shard_count() : 0);
+  if (parts.empty()) {
+    net.attach_apps([&](net::Node&) {
+      return std::make_unique<IcpdaApp>(config, readings, &keys, &attack, &outcome);
+    });
+  } else {
+    const sim::ShardPlan& plan = net.shard_plan();
+    net.attach_apps([&](net::Node& n) {
+      return std::make_unique<IcpdaApp>(config, readings, &keys, &attack,
+                                        &parts[plan.shard_of[n.id()]]);
+    });
+  }
   outcome.nodes_crashed = schedule_fault_plan(net, faults, net.rng().fork("faults"));
-  run_epoch_tail(net, config, outcome);
+  run_epoch_tail(net, config, outcome, parts);
   return outcome;
 }
 
@@ -1683,6 +1731,12 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
                              const AdversaryPlan& adversary, AdversaryState& adv,
                              const FaultPlan& faults) {
   IcpdaOutcome outcome;
+  // An adversary run shares AdversaryState across every compromised
+  // node: arbitrary cross-shard state, so the engine must serialize.
+  // Identical results (the gate replays the canonical order), and the
+  // apps can then safely share the one outcome sink as well.
+  std::vector<IcpdaOutcome> parts;
+  if (net.shard_count() > 1) net.set_serialize_all(true);
   // Faults first: the crash set must be materialized before the
   // compromised set resolves, so crashed-and-compromised deterministically
   // resolves to crashed (a dead node mounts no attack).
@@ -1697,7 +1751,7 @@ IcpdaOutcome run_icpda_epoch(net::Network& net, const IcpdaConfig& config,
     return std::make_unique<IcpdaApp>(config, readings, &keys, &kNoLegacyAttack,
                                       &outcome, &adversary, &adv);
   });
-  run_epoch_tail(net, config, outcome);
+  run_epoch_tail(net, config, outcome, parts);
   return outcome;
 }
 

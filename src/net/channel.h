@@ -11,8 +11,12 @@
 // corrupt each other there (no capture effect); a node that is itself
 // transmitting cannot receive (half-duplex). On top of collisions, an
 // independent Bernoulli(p_loss) models fading/noise losses per
-// (frame, receiver) pair. These two loss sources are what force the
-// base station's acceptance threshold Th > 0.
+// (frame, receiver) pair. The loss draw is KEYED — a stateless hash of
+// (sender, receiver, MAC seq, arrival time) under a seed forked from
+// the channel RNG — so the outcome of one delivery never depends on
+// how many other deliveries drew before it. That order-independence is
+// what lets the sharded engine (DESIGN.md §5j) replay deliveries from
+// per-shard schedulers and still produce bit-identical results.
 //
 // Fan-out is copy-free (DESIGN.md §5f, §5i): transmit() keeps one
 // copy of the frame per transmission — a recycled pool slot under the
@@ -22,6 +26,17 @@
 // and all of a transmission's deliveries run from a single scheduler
 // event (they share the arrival instant, so consolidation is
 // observationally invisible).
+//
+// Sharded operation (set_shards): the physical state (tx_until_,
+// receptions_) stays in the single shared per-node arrays, but every
+// *acting* resource — scheduler, metric registry, in-flight frame
+// pool, tx-id space — is per shard, selected by the transmitting
+// node's shard. Events that can touch another shard's per-node state
+// (a border node's delivery pass, or a delivery that will solicit an
+// ACK from a border receiver) are border-tagged so the engine routes
+// them through its serialized gate; everything else runs in the
+// parallel drains, where the partition guarantees it only touches its
+// own shard's rows of the shared arrays.
 #pragma once
 
 #include <cstdint>
@@ -69,11 +84,24 @@ class Channel {
 
   /// Wiretap observer: sees every transmission at start-of-frame with
   /// the sender id. Used by attack instrumentation; taps see ciphertext
-  /// bytes exactly as a real antenna would.
+  /// bytes exactly as a real antenna would. A tapped channel forces the
+  /// sharded engine into full serialization (taps are arbitrary shared
+  /// state).
   using TapFn = std::function<void(NodeId sender, const Frame& frame)>;
 
   Channel(const Topology& topo, sim::Scheduler& sched, sim::Rng rng,
           sim::MetricRegistry& metrics, ChannelConfig config);
+
+  /// Sharded wiring (Network::wire when config.shards > 1): per-shard
+  /// schedulers/registries plus the node->shard map and border flags.
+  /// The pointed-to arrays must outlive the channel and never move.
+  struct ShardWiring {
+    std::vector<sim::Scheduler*> scheds;
+    std::vector<sim::MetricRegistry*> metrics;
+    const std::uint32_t* shard_of = nullptr;  ///< per node
+    const std::uint8_t* border = nullptr;     ///< per node
+  };
+  void set_shards(ShardWiring wiring);
 
   /// Airtime of a frame at the configured bit rate.
   [[nodiscard]] sim::SimTime airtime(const Frame& frame) const {
@@ -84,10 +112,12 @@ class Channel {
   }
 
   /// Carrier sense: is any transmission audible at `node` right now
-  /// (including the node's own)?
+  /// (including the node's own)? "Now" is the node's own shard clock —
+  /// callers are always the node's own MAC, acting inside one of the
+  /// node's events.
   [[nodiscard]] bool busy_at(NodeId node) const;
 
-  /// Is `node` itself currently transmitting?
+  /// Is `node` itself currently transmitting (on its own shard clock)?
   [[nodiscard]] bool transmitting(NodeId node) const;
 
   /// Start transmitting `frame` from `sender` now (the channel takes a
@@ -124,6 +154,7 @@ class Channel {
   }
 
   void add_tap(TapFn fn) { taps_.push_back(std::move(fn)); }
+  [[nodiscard]] bool has_taps() const { return !taps_.empty(); }
 
   /// Attach a tracer: transmit() records kTxBytes at the sender (same
   /// value and call site as the channel.tx_bytes metric, so per-phase
@@ -149,14 +180,64 @@ class Channel {
     bool rx_while_tx;
   };
 
+  /// Everything a transmission *acts through*, one instance per shard
+  /// (exactly one in single-shard operation, bound to the constructor's
+  /// scheduler/registry). The metric cells are per-context because the
+  /// delivery hot loop bumps them from concurrent shard drains.
+  struct ShardCtx {
+    sim::Scheduler* sched = nullptr;
+    sim::MetricRegistry* metrics = nullptr;
+    /// In-flight frame pool for the sink path: one slot per
+    /// transmission from start-of-frame until its delivery pass
+    /// finishes, recycled with payload capacity retained. Safe because
+    /// under the MAC sink no code transmits from inside deliver() —
+    /// every MAC send goes through a scheduled backoff/SIFS event — so
+    /// the pool cannot reallocate while a slot is being read.
+    std::vector<Frame> inflight;
+    std::vector<std::uint32_t> free_inflight;
+    /// Low 48 bits of this shard's next transmission id.
+    std::uint64_t next_tx_id = 0;
+
+    /// Pre-bound counter handles (sim::MetricRegistry::Cell): deliver()
+    /// touches one per receiver per frame, the single hottest metric
+    /// path in the simulator.
+    sim::MetricRegistry::Cell tx_frames{"channel.tx_frames"};
+    sim::MetricRegistry::Cell tx_bytes{"channel.tx_bytes"};
+    sim::MetricRegistry::Cell rx_ok{"channel.rx_ok"};
+    sim::MetricRegistry::Cell rx_collided{"channel.rx_collided"};
+    sim::MetricRegistry::Cell dst_collided{"channel.dst_collided"};
+    sim::MetricRegistry::Cell rx_lost{"channel.rx_lost"};
+    sim::MetricRegistry::Cell rx_halfduplex{"channel.rx_halfduplex"};
+    sim::MetricRegistry::Cell dst_halfduplex{"channel.dst_halfduplex"};
+    sim::MetricRegistry::Cell rx_dead{"channel.rx_dead"};
+  };
+
+  [[nodiscard]] ShardCtx& ctx_of(NodeId node) {
+    return shard_of_ == nullptr ? ctxs_[0] : ctxs_[shard_of_[node]];
+  }
+  [[nodiscard]] const ShardCtx& ctx_of(NodeId node) const {
+    return shard_of_ == nullptr ? ctxs_[0] : ctxs_[shard_of_[node]];
+  }
+
+  /// Is `node` transmitting at `now`? Internal paths pass the ACTING
+  /// event's time explicitly: under the sharded gate another shard's
+  /// clock may lag the acting event, so reading the remote scheduler
+  /// would mis-evaluate carrier state.
+  [[nodiscard]] bool transmitting_at(NodeId node, sim::SimTime now) const {
+    return tx_until_[node] > now;
+  }
+
+  /// Stateless per-(frame, receiver) loss draw; see the header comment.
+  [[nodiscard]] bool keyed_loss(NodeId sender, NodeId receiver,
+                                const Frame& frame, sim::SimTime now) const;
+
   /// Deliver one transmission to every in-range receiver, in neighbour
   /// (= ascending id) order — the same order the per-receiver events
   /// used to fire in, since they shared (arrival time, schedule order).
-  void deliver(NodeId sender, std::uint64_t tx_id, const Frame& frame);
+  void deliver(NodeId sender, std::uint64_t tx_id, const Frame& frame,
+               ShardCtx& ctx);
 
   const Topology& topo_;
-  sim::Scheduler& sched_;
-  sim::Rng rng_;
   sim::MetricRegistry& metrics_;
   ChannelConfig config_;
   sim::Tracer* tracer_ = nullptr;
@@ -165,36 +246,22 @@ class Channel {
   /// production Network wiring, where it replaces `delivery_`.
   Mac* const* sink_macs_ = nullptr;
   const std::uint8_t* sink_alive_ = nullptr;
-  /// In-flight frame pool for the sink path: one slot per transmission
-  /// from start-of-frame until its delivery pass finishes, recycled
-  /// with payload capacity retained. Safe because under the MAC sink
-  /// no code transmits from inside deliver() — every MAC send goes
-  /// through a scheduled backoff/SIFS event — so the pool cannot
-  /// reallocate while a slot is being read. Delivery hooks
-  /// (set_delivery) may do arbitrary things, so that path keeps the
-  /// shared_ptr copy instead.
-  std::vector<Frame> inflight_;
-  std::vector<std::uint32_t> free_inflight_;
   std::vector<TapFn> taps_;
 
-  /// Pre-bound counter handles (sim::MetricRegistry::Cell): deliver()
-  /// touches one of these per receiver per frame, the single hottest
-  /// metric path in the simulator.
-  sim::MetricRegistry::Cell tx_frames_{"channel.tx_frames"};
-  sim::MetricRegistry::Cell tx_bytes_{"channel.tx_bytes"};
-  sim::MetricRegistry::Cell rx_ok_{"channel.rx_ok"};
-  sim::MetricRegistry::Cell rx_collided_{"channel.rx_collided"};
-  sim::MetricRegistry::Cell dst_collided_{"channel.dst_collided"};
-  sim::MetricRegistry::Cell rx_lost_{"channel.rx_lost"};
-  sim::MetricRegistry::Cell rx_halfduplex_{"channel.rx_halfduplex"};
-  sim::MetricRegistry::Cell dst_halfduplex_{"channel.dst_halfduplex"};
-  sim::MetricRegistry::Cell rx_dead_{"channel.rx_dead"};
+  /// Acting contexts: one per shard (one total when unsharded).
+  std::vector<ShardCtx> ctxs_;
+  const std::uint32_t* shard_of_ = nullptr;  ///< per node; null = unsharded
+  const std::uint8_t* border_ = nullptr;     ///< per node; null = unsharded
+
+  /// Seed of the keyed loss draw (forked once from the channel RNG, so
+  /// it is a pure function of the network seed — identical across
+  /// engines and shard counts).
+  std::uint64_t loss_seed_;
 
   /// Per-node time until which the node is transmitting.
   std::vector<sim::SimTime> tx_until_;
   /// Per-node slot pools of in-flight receptions.
   std::vector<std::vector<Reception>> receptions_;
-  std::uint64_t next_tx_id_ = 0;
 };
 
 }  // namespace icpda::net

@@ -113,16 +113,24 @@ void Mac::try_start() {
 void Mac::defer() {
   state_ = State::kDeferring;
   const sim::SimTime wait = random_backoff();
-  sched_.after(wait, [this] {
-    if (state_ != State::kDeferring) return;
-    if (channel_.busy_at(self_)) {
-      cs_busy_.add(metrics_);
-      cw_ = std::min(cw_ * 2, config_.cw_max);
-      defer();
-    } else {
-      begin_transmission();
-    }
-  });
+  // Owner-tagged so canonical event order is engine-independent;
+  // border-tagged on boundary nodes because the attempt transmits (and
+  // a boundary node's frames reach foreign shards). The wait is always
+  // >= one contention slot >= the engine lookahead, so the tag never
+  // trips the lookahead contract.
+  sched_.after(
+      wait,
+      [this] {
+        if (state_ != State::kDeferring) return;
+        if (channel_.busy_at(self_)) {
+          cs_busy_.add(metrics_);
+          cw_ = std::min(cw_ * 2, config_.cw_max);
+          defer();
+        } else {
+          begin_transmission();
+        }
+      },
+      self_, border_);
 }
 
 void Mac::begin_transmission() {
@@ -139,10 +147,13 @@ void Mac::on_tx_done() {
     return;
   }
   state_ = State::kAwaitingAck;
-  ack_timer_ = sched_.after(sim::seconds(config_.ack_timeout_s), [this] {
-    ack_timer_armed_ = false;
-    on_ack_timeout();
-  });
+  ack_timer_ = sched_.after(
+      sim::seconds(config_.ack_timeout_s),
+      [this] {
+        ack_timer_armed_ = false;
+        on_ack_timeout();
+      },
+      self_);
   ack_timer_armed_ = true;
 }
 
@@ -192,11 +203,17 @@ void Mac::send_ack(const Frame& data_frame) {
   ack.type = kMacAck;
   ack.payload = std::move(w).take();
   // ACKs bypass contention: fire after a short inter-frame space, like
-  // 802.11/802.15.4. They can still collide — that is physics.
-  sched_.after(sim::seconds(config_.sifs_s), [this, ack = std::move(ack)] {
-    ack_sent_.add(metrics_);
-    channel_.transmit(self_, ack, nullptr);
-  });
+  // 802.11/802.15.4. They can still collide — that is physics. The SIFS
+  // is shorter than the engine lookahead, which is exactly why a border
+  // node's ACK send must be border-tagged — and why the delivery that
+  // solicits it runs inside the gate (see Channel::transmit).
+  sched_.after(
+      sim::seconds(config_.sifs_s),
+      [this, ack = std::move(ack)] {
+        ack_sent_.add(metrics_);
+        channel_.transmit(self_, ack, nullptr);
+      },
+      self_, border_);
 }
 
 void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {

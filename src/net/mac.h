@@ -69,6 +69,13 @@ class Mac {
   /// radio-off send, purge) records kDropBytes.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Sharded engine: this node sits on a shard boundary, so its backoff
+  /// attempts and ACK sends — events whose transmissions reach foreign
+  /// shards — are border-tagged for the serialized gate. The ACK
+  /// *timer* stays interior: it only mutates this MAC (a retry attempt
+  /// it triggers is a fresh, properly tagged backoff event).
+  void set_border(bool border) { border_ = border; }
+
   /// Enqueue a frame for transmission. The MAC stamps the sequence
   /// number and source address.
   void send(Frame frame);
@@ -113,6 +120,7 @@ class Mac {
   sim::Tracer* tracer_ = nullptr;
   Callbacks cbs_;
   Node* sink_ = nullptr;
+  bool border_ = false;
 
   void trace_drop(const Frame& frame);
 

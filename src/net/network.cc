@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -29,16 +30,68 @@ void Network::wire() {
   if (topology_.size() == 0) {
     throw std::invalid_argument("Network: empty topology");
   }
+
+  // Sharded setup first: the MACs below must be bound to their
+  // home-shard scheduler/registry at construction.
+  const auto shards = static_cast<std::uint32_t>(
+      std::min<std::size_t>(config_.shards, topology_.size()));
+  if (shards > 1) {
+    std::vector<double> xs(topology_.size());
+    for (NodeId id = 0; id < topology_.size(); ++id) {
+      xs[id] = topology_.position(id).x;
+    }
+    plan_ = sim::make_stripe_plan(
+        xs, config_.field_width_m, shards,
+        [this](std::uint32_t node, const std::function<void(std::uint32_t)>& fn) {
+          for (const NodeId r : topology_.neighbors(node)) fn(r);
+        });
+    shard_scheds_.reserve(shards);
+    shard_metrics_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      shard_scheds_.push_back(std::make_unique<sim::Scheduler>());
+      shard_scheds_.back()->set_tracer(&tracer_);
+      shard_metrics_.push_back(std::make_unique<sim::MetricRegistry>());
+    }
+    // Trace rings stay single-writer under parallel drains only with
+    // per-ring sequence numbers.
+    tracer_.set_sharded(true);
+    // Lookahead: the tightest bound on how soon a drained event can
+    // spawn a border event — min(one contention slot, the airtime of a
+    // payload-free frame + propagation). The SIFS ACK undercuts this,
+    // which is why ACK-soliciting deliveries are gate-forced instead
+    // (see Channel::transmit).
+    const double spawn_floor_s = std::min(
+        config_.mac.slot_time_s,
+        static_cast<double>(kFrameOverheadBytes) * 8.0 / config_.channel.bit_rate_bps +
+            config_.channel.propagation_delay_s);
+    pool_ = std::make_unique<runner::ThreadPool>(shards);
+    std::vector<sim::Scheduler*> raw;
+    raw.reserve(shards);
+    for (auto& s : shard_scheds_) raw.push_back(s.get());
+    engine_ = std::make_unique<ShardEngine>(std::move(raw),
+                                            sim::seconds(spawn_floor_s), *pool_);
+  }
+
   channel_ = std::make_unique<Channel>(topology_, scheduler_, rng_.fork("channel"),
                                        metrics_, config_.channel);
   scheduler_.set_tracer(&tracer_);
   channel_->set_tracer(&tracer_);
+  if (engine_) {
+    Channel::ShardWiring wiring;
+    for (auto& s : shard_scheds_) wiring.scheds.push_back(s.get());
+    for (auto& m : shard_metrics_) wiring.metrics.push_back(m.get());
+    wiring.shard_of = plan_.shard_of.data();
+    wiring.border = plan_.border.data();
+    channel_->set_shards(std::move(wiring));
+  }
   macs_.reserve(topology_.size());
   nodes_.reserve(topology_.size());
   for (NodeId id = 0; id < topology_.size(); ++id) {
-    macs_.push_back(std::make_unique<Mac>(id, *channel_, scheduler_,
-                                          rng_.fork("mac", id), metrics_, config_.mac));
+    macs_.push_back(std::make_unique<Mac>(id, *channel_, scheduler_for(id),
+                                          rng_.fork("mac", id), metrics_for(id),
+                                          config_.mac));
     macs_.back()->set_tracer(&tracer_);
+    if (engine_) macs_.back()->set_border(plan_.border[id] != 0);
     nodes_.push_back(std::make_unique<Node>(id, *this, rng_.fork("node", id)));
   }
   // Delivery path: channel -> receiving MAC -> node -> app, wired as
@@ -62,8 +115,10 @@ void Network::set_node_down(NodeId id) {
   alive_[id] = 0;
   macs_[id]->power_off();
   // Crash mid-phase: close every open span so traces stay balanced.
-  tracer_.interrupt(id, scheduler_.now());
-  metrics_.add("net.node_down");
+  // The node's home-shard clock is the acting time (fault events run on
+  // the crashing node's shard).
+  tracer_.interrupt(id, scheduler_for(id).now());
+  metrics_for(id).add("net.node_down");
 }
 
 void Network::set_node_up(NodeId id) {
@@ -71,7 +126,7 @@ void Network::set_node_up(NodeId id) {
   nodes_[id]->set_alive(true);
   alive_[id] = 1;
   macs_[id]->power_on();
-  metrics_.add("net.node_up");
+  metrics_for(id).add("net.node_up");
 }
 
 std::size_t Network::live_count() const {
@@ -91,12 +146,38 @@ void Network::start() {
 
 sim::SimTime Network::run(sim::SimTime horizon) {
   start();
-  if (horizon.is_finite()) {
-    scheduler_.run_until(horizon);
-  } else {
-    scheduler_.run();
+  if (!engine_) {
+    if (horizon.is_finite()) {
+      scheduler_.run_until(horizon);
+    } else {
+      scheduler_.run();
+    }
+    return scheduler_.now();
   }
-  return scheduler_.now();
+
+  // Arbitrary shared observers make every event a potential cross-shard
+  // interaction: run the whole horizon through the serialized gate
+  // (identical results, no parallelism) rather than risk a torn read.
+  const bool serialize = serialize_all_ || channel_->has_taps() ||
+                         (tracer_.enabled() && tracer_.config().scheduler_spans);
+  const sim::SimTime end = engine_->run(horizon, serialize);
+
+  // Fold per-shard registries into the main one, in shard order —
+  // deterministic, and Cell handles survive for the next run.
+  for (auto& m : shard_metrics_) m->drain_into(metrics_);
+
+  if (tracer_.enabled() && tracer_.config().shard_counters) {
+    const ShardEngine::Stats& st = engine_->stats();
+    tracer_.counter(sim::kTraceGlobalNode, sim::TraceCounter::kShardRounds,
+                    st.rounds, end);
+    tracer_.counter(sim::kTraceGlobalNode, sim::TraceCounter::kShardGateRounds,
+                    st.gate_rounds, end);
+    tracer_.counter(sim::kTraceGlobalNode, sim::TraceCounter::kShardGateEvents,
+                    st.gate_events, end);
+    tracer_.counter(sim::kTraceGlobalNode, sim::TraceCounter::kShardParallelEvents,
+                    st.parallel_events, end);
+  }
+  return end;
 }
 
 }  // namespace icpda::net

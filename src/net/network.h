@@ -7,6 +7,17 @@
 //
 // A Network is a self-contained world: no globals, fully deterministic
 // in (config, seed), cheap enough to build thousands per benchmark.
+//
+// Sharded execution (NetworkConfig::shards > 1): the field is cut into
+// vertical stripes (sim/shard.h), each stripe gets its own
+// sim::Scheduler and sim::MetricRegistry, and run() drives them through
+// the conservative-PDES ShardEngine on an owned worker pool instead of
+// the single scheduler. The partition is invisible to protocol code —
+// nodes schedule through scheduler_for()/metrics_for(), which collapse
+// to the single scheduler/registry when unsharded — and the engine's
+// canonical event order reproduces the single-shard run bit-for-bit
+// (DESIGN.md §5j). The service layer drives the scheduler directly and
+// is not shard-aware: keep shards == 1 there.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +27,13 @@
 #include "net/channel.h"
 #include "net/mac.h"
 #include "net/node.h"
+#include "net/shard_engine.h"
 #include "net/topology.h"
+#include "runner/thread_pool.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
+#include "sim/shard.h"
 #include "sim/trace.h"
 
 namespace icpda::net {
@@ -31,6 +45,10 @@ struct NetworkConfig {
   double range_m = 50.0;
   bool base_station_at_center = true;
   std::uint64_t seed = 1;
+  /// Spatial shards for parallel execution (1 = classic single-engine
+  /// run). Clamped to the node count; results are byte-identical for
+  /// every value.
+  std::size_t shards = 1;
   ChannelConfig channel;
   MacConfig mac;
 };
@@ -49,7 +67,26 @@ class Network {
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] NodeId base_station() const { return 0; }
 
+  /// The single-engine scheduler. In a sharded network this is a
+  /// detached, empty scheduler — use scheduler_for()/now() instead
+  /// (every in-tree caller is either per-node or single-shard-only).
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  /// Home-shard scheduler of `id` (the scheduler when unsharded).
+  [[nodiscard]] sim::Scheduler& scheduler_for(NodeId id) {
+    return engine_ ? *shard_scheds_[plan_.shard_of[id]] : scheduler_;
+  }
+  /// Home-shard registry of `id` (the main registry when unsharded).
+  /// Per-shard registries are drained into metrics() after every run,
+  /// so post-run readers never need this.
+  [[nodiscard]] sim::MetricRegistry& metrics_for(NodeId id) {
+    return engine_ ? *shard_metrics_[plan_.shard_of[id]] : metrics_;
+  }
+  /// Current simulation time, correct under either engine. All shard
+  /// clocks agree outside run() (the engine aligns them on exit).
+  [[nodiscard]] sim::SimTime now() const {
+    return engine_ ? shard_scheds_[0]->now() : scheduler_.now();
+  }
+
   [[nodiscard]] Channel& channel() { return *channel_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] sim::MetricRegistry& metrics() { return metrics_; }
@@ -57,6 +94,22 @@ class Network {
 
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] Mac& mac(NodeId id) { return *macs_.at(id); }
+
+  // ---- Sharded engine -----------------------------------------------
+
+  /// Effective shard count (1 when running the single engine).
+  [[nodiscard]] std::size_t shard_count() const {
+    return engine_ ? plan_.shard_count : 1;
+  }
+  /// The spatial partition (empty when unsharded).
+  [[nodiscard]] const sim::ShardPlan& shard_plan() const { return plan_; }
+  /// Engine of the last/current sharded run; null when unsharded.
+  [[nodiscard]] const ShardEngine* shard_engine() const { return engine_.get(); }
+  /// Force every event through the engine's serialized gate. run() also
+  /// turns this on by itself when arbitrary cross-shard shared state is
+  /// attached (channel taps, scheduler-span tracing); protocol drivers
+  /// set it for adversary runs (shared AdversaryState). Sticky.
+  void set_serialize_all(bool serialize) { serialize_all_ = serialize; }
 
   // ---- Structured tracing -------------------------------------------
   // Every Network owns a Tracer (disabled and ring-less by default, so
@@ -101,8 +154,10 @@ class Network {
   /// the query), then run nothing — callers drive the scheduler.
   void start();
 
-  /// Convenience: start() then run the scheduler until quiescent or
-  /// until `horizon`, whichever first. Returns simulated end time.
+  /// Convenience: start() then run until quiescent or until `horizon`,
+  /// whichever first. Returns simulated end time. Sharded networks run
+  /// the ShardEngine here and fold the per-shard registries into
+  /// metrics() (in shard order — deterministic) before returning.
   sim::SimTime run(sim::SimTime horizon = sim::SimTime::infinity());
 
  private:
@@ -125,6 +180,14 @@ class Network {
   /// receiver per frame, and a byte load from this array replaces a
   /// pointer chase into the heap-scattered Node objects.
   std::vector<std::uint8_t> alive_;
+
+  // Sharded engine state; all empty/null when config_.shards == 1.
+  sim::ShardPlan plan_;
+  std::vector<std::unique_ptr<sim::Scheduler>> shard_scheds_;
+  std::vector<std::unique_ptr<sim::MetricRegistry>> shard_metrics_;
+  std::unique_ptr<runner::ThreadPool> pool_;
+  std::unique_ptr<ShardEngine> engine_;
+  bool serialize_all_ = false;
 };
 
 }  // namespace icpda::net

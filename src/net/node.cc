@@ -4,19 +4,24 @@
 
 namespace icpda::net {
 
-sim::SimTime Node::now() const { return network_.scheduler().now(); }
+sim::SimTime Node::now() const { return network_.scheduler_for(id_).now(); }
 
 sim::EventId Node::schedule(sim::SimTime delay, sim::EventFn fn) {
   // Liveness gate at fire time, not at schedule time: a node that
   // crashes loses its pending application timers (its program state is
   // gone), and a node that was down when the timer was set may be back
-  // up when it fires.
-  return network_.scheduler().after(delay, [this, fn = std::move(fn)]() mutable {
-    if (alive_) fn();
-  });
+  // up when it fires. Timers run on the node's home-shard scheduler,
+  // owner-tagged, and are never border events: application handlers
+  // only touch the node's own state and send through its own MAC.
+  return network_.scheduler_for(id_).after(
+      delay,
+      [this, fn = std::move(fn)]() mutable {
+        if (alive_) fn();
+      },
+      id_);
 }
 
-void Node::cancel(sim::EventId id) { network_.scheduler().cancel(id); }
+void Node::cancel(sim::EventId id) { network_.scheduler_for(id_).cancel(id); }
 
 void Node::send(NodeId dst, FrameType type, Bytes payload) {
   if (!alive_) return;  // dead radio: nothing leaves the node
@@ -36,7 +41,7 @@ void Node::purge_sends_to(NodeId dst) {
   network_.mac(id_).fail_queued_to(dst);
 }
 
-sim::MetricRegistry& Node::metrics() { return network_.metrics(); }
+sim::MetricRegistry& Node::metrics() { return network_.metrics_for(id_); }
 
 sim::Tracer& Node::tracer() { return network_.tracer(); }
 

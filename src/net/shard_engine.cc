@@ -1,0 +1,194 @@
+#include "net/shard_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/barrier.h"
+
+namespace icpda::net {
+
+ShardEngine::ShardEngine(std::vector<sim::Scheduler*> scheds,
+                         sim::SimTime lookahead, runner::ThreadPool& pool)
+    : scheds_(std::move(scheds)), lookahead_(lookahead), pool_(pool) {
+  if (scheds_.empty()) {
+    throw std::invalid_argument("ShardEngine: need at least one shard");
+  }
+  if (!(lookahead_ > sim::SimTime::zero())) {
+    throw std::invalid_argument("ShardEngine: lookahead must be positive");
+  }
+  if (pool_.size() < scheds_.size()) {
+    throw std::invalid_argument(
+        "ShardEngine: pool smaller than shard count would deadlock");
+  }
+  // The gate's tie-break needs parentage metadata; schedulers keep it
+  // off by default because only this engine ever reads it. Engines are
+  // constructed before any events are scheduled (Network::wire), so no
+  // pre-existing event misses tracking.
+  for (sim::Scheduler* s : scheds_) s->set_track_parentage(true);
+}
+
+namespace {
+
+// Cross-shard dispatch order at the gate. Per-shard FIFO seq counters
+// are incomparable across schedulers, so a (fire time, schedule time)
+// tie is ordered by PARENTAGE: tied events were scheduled by dispatches
+// at the same clock instant, and those parent dispatches executed in
+// (their own schedule time = anc2, then FIFO) order — comparing anc2
+// reconstructs the single-heap FIFO order exactly whenever the parents
+// themselves do not tie; same parent (equal anc2 and parent_owner)
+// orders by intra-dispatch index, again exactly FIFO. Only when two
+// DIFFERENT parents tie in (at, sched_at) as well does the order fall
+// back to the child owner id — engine-independent (a node's id never
+// depends on its home shard), and equal to FIFO at the known batch
+// sites, which iterate nodes ascending. A full-key tie across shards
+// is impossible for owned events (an owner lives in exactly one
+// shard); the strict compare then keeps the lower shard index.
+[[nodiscard]] bool gate_before(const sim::EventKey& a, const sim::EventKey& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.sched_at != b.sched_at) return a.sched_at < b.sched_at;
+  if (a.anc2 != b.anc2) return a.anc2 < b.anc2;
+  if (a.parent_owner != b.parent_owner) return a.parent_owner < b.parent_owner;
+  if (a.intra != b.intra) return a.intra < b.intra;
+  return a.owner < b.owner;
+}
+
+}  // namespace
+
+void ShardEngine::run_gate(sim::SimTime bound) {
+  // K-way merge by repeated peek: always run the globally-least pending
+  // event below the bound. An executed event may insert new events, but
+  // never before itself — re-peeking every iteration keeps the order
+  // canonical through arbitrary insert patterns. Within a shard the
+  // scheduler's own heap supplies the (at, sched_at, seq) FIFO order;
+  // across shards gate_before() decides.
+  const std::size_t shards = scheds_.size();
+  for (;;) {
+    std::size_t best = shards;
+    sim::EventKey best_key{};
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!scheds_[s]->has_next() || !(scheds_[s]->next_time() < bound)) continue;
+      const sim::EventKey k = scheds_[s]->next_key();
+      if (best == shards || gate_before(k, best_key)) {
+        best = s;
+        best_key = k;
+      }
+    }
+    if (best == shards) return;
+    scheds_[best]->run_one();
+    ++stats_.gate_events;
+  }
+}
+
+sim::SimTime ShardEngine::run(sim::SimTime horizon, bool serialize_all) {
+  const std::size_t shards = scheds_.size();
+  // Events at exactly the horizon still fire (run_until semantics):
+  // bound is the smallest representable time after it.
+  const sim::SimTime bound{
+      horizon.is_finite()
+          ? std::nextafter(horizon.seconds(),
+                           std::numeric_limits<double>::infinity())
+          : std::numeric_limits<double>::infinity()};
+
+  stats_ = Stats{};
+  struct Plan {
+    bool done = false;
+    bool gate = false;
+    sim::SimTime drain_bound = sim::SimTime::zero();
+    sim::SimTime gate_bound = sim::SimTime::zero();
+  };
+  Plan plan;
+  bool first = true;
+  sim::ReductionBarrier barrier(shards);
+  std::vector<std::uint64_t> drained(shards, 0);
+  std::vector<std::uint64_t> violations(shards, 0);
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Runs serially under the barrier: finish the previous round's gate,
+  // then plan the next window.
+  auto replan = [&] {
+    if (!first && plan.gate) run_gate(plan.gate_bound);
+    first = false;
+    if (failed.load(std::memory_order_relaxed)) {
+      plan.done = true;
+      return;
+    }
+    sim::SimTime next = sim::SimTime::infinity();
+    for (sim::Scheduler* s : scheds_) {
+      if (s->has_next()) next = std::min(next, s->next_time());
+    }
+    if (!(next < bound)) {
+      plan.done = true;
+      return;
+    }
+    ++stats_.rounds;
+    if (serialize_all) {
+      plan.gate = true;
+      ++stats_.gate_rounds;
+      plan.drain_bound = sim::SimTime::zero();  // drain nothing
+      plan.gate_bound = bound;
+      return;
+    }
+    const sim::SimTime window_end = std::min(next + lookahead_, bound);
+    sim::SimTime gate_at = sim::SimTime::infinity();
+    sim::EventKey bk;
+    for (sim::Scheduler* s : scheds_) {
+      if (s->next_border(bk)) gate_at = std::min(gate_at, bk.at);
+    }
+    plan.gate = gate_at < window_end;
+    plan.gate_bound = window_end;
+    plan.drain_bound = plan.gate ? gate_at : window_end;
+    if (plan.gate) ++stats_.gate_rounds;
+  };
+
+  auto worker = [&](std::size_t s) {
+    for (;;) {
+      barrier.arrive_and_wait(replan);
+      if (plan.done) return;
+      try {
+        drained[s] += scheds_[s]->run_before(plan.drain_bound);
+        // Lookahead-safety check (invariant 3): nothing this drain ran
+        // may have left a border event pending below the drain bound —
+        // the gate would execute it late, out of canonical order.
+        sim::EventKey bk;
+        if (scheds_[s]->next_border(bk) && bk.at < plan.drain_bound) {
+          ++violations[s];
+        }
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    futures.push_back(pool_.submit([&worker, s] { worker(s); }));
+  }
+  for (auto& f : futures) f.get();
+  if (error) std::rethrow_exception(error);
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    stats_.parallel_events += drained[s];
+    stats_.lookahead_violations += violations[s];
+  }
+
+  // Leave every shard clock at a common end time: the horizon when
+  // finite, else the latest event executed anywhere.
+  sim::SimTime end = horizon.is_finite() ? horizon : sim::SimTime::zero();
+  for (sim::Scheduler* s : scheds_) end = std::max(end, s->now());
+  for (sim::Scheduler* s : scheds_) s->advance_to(end);
+  return end;
+}
+
+}  // namespace icpda::net

@@ -81,6 +81,10 @@ bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error
       options.threads = t == 0 ? ThreadPool::default_threads() : static_cast<unsigned>(t);
     }
   }
+  if (const char* env = std::getenv("ICPDA_SHARDS")) {
+    unsigned long long s = 0;
+    if (parse_uint(env, s) && s > 0) options.shards = static_cast<std::size_t>(s);
+  }
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -103,6 +107,20 @@ bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error
         return false;
       }
       options.threads = t == 0 ? ThreadPool::default_threads() : static_cast<unsigned>(t);
+      continue;
+    }
+    if (take_value_flag(argc, argv, i, "--shards", value, error)) {
+      unsigned long long s = 0;
+      if (!error.empty()) return false;
+      if (!parse_uint(value, s) || s == 0) {
+        error = "--shards: expected a positive integer, got '" + value + "'";
+        return false;
+      }
+      options.shards = static_cast<std::size_t>(s);
+      // Campaign cells construct their own NetworkConfig deep inside
+      // each bench binary; the env var is the one channel they all
+      // already read (bench::shards), so the flag is exported to it.
+      setenv("ICPDA_SHARDS", value.c_str(), /*overwrite=*/1);
       continue;
     }
     if (take_value_flag(argc, argv, i, "--trials", value, error)) {
@@ -136,11 +154,14 @@ bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error
 
 void print_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threads=N] [--trials=N] [--points=SPEC] [--out=PATH]\n"
-               "          [--trace] [--no-progress] [--help]\n"
+               "usage: %s [--threads=N] [--shards=N] [--trials=N] [--points=SPEC]\n"
+               "          [--out=PATH] [--trace] [--no-progress] [--help]\n"
                "  --threads=N    worker threads (0 = all hardware threads;\n"
                "                 default $ICPDA_THREADS or 1). Rows are\n"
                "                 byte-identical at every thread count.\n"
+               "  --shards=N     spatial shards per simulated network\n"
+               "                 (default $ICPDA_SHARDS or 1). Rows are\n"
+               "                 byte-identical at every shard count.\n"
                "  --trials=N     Monte-Carlo trials per grid point\n"
                "                 (default: campaign declaration / $ICPDA_TRIALS)\n"
                "  --points=SPEC  run a subset of flat grid points: 0,3,7 or 2-5\n"

@@ -4,6 +4,9 @@
 //                 from ICPDA_THREADS, else 1 so plain invocations stay
 //                 sequential and comparable. Row output is identical
 //                 at every thread count (see campaign.h).
+//   --shards=N    spatial shards per simulated Network (default from
+//                 ICPDA_SHARDS, else 1). Row output is identical at
+//                 every shard count (see net/shard_engine.h).
 //   --trials=N    Monte-Carlo trials per grid point; default from the
 //                 campaign declaration (usually ICPDA_TRIALS-scaled).
 //   --points=SPEC run only the listed flat grid points, e.g.
@@ -25,6 +28,13 @@ namespace icpda::runner {
 
 struct RunnerOptions {
   unsigned threads = 1;
+  /// Spatial shards per simulated Network (see net/shard_engine.h);
+  /// default from ICPDA_SHARDS, else 1. parse_cli() also exports the
+  /// flag back to ICPDA_SHARDS so campaign cells constructing their
+  /// own NetworkConfig (via bench::paper_network) pick it up. Rows are
+  /// byte-identical at every shard count — that is what
+  /// tests/shard_determinism_test.cc pins.
+  std::size_t shards = 1;
   int trials = 0;                    // 0 = use the campaign's default
   std::vector<std::size_t> points;   // empty = whole grid
   std::string out;                   // empty = stdout

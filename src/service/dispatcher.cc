@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace icpda::service {
@@ -20,6 +21,13 @@ Dispatcher::Dispatcher(net::Network& net, ServiceConfig config,
                        const crypto::KeyScheme* keys,
                        proto::ReadingProvider readings)
     : net_(net), config_(std::move(config)) {
+  if (net_.shard_count() > 1) {
+    // The dispatcher drives net.scheduler() directly (arrivals, drain
+    // grace, completion callbacks), which is a detached empty heap in a
+    // sharded Network — the run would silently hang at t=0.
+    throw std::invalid_argument(
+        "service::Dispatcher requires an unsharded Network (shards == 1)");
+  }
   state_.readings = std::move(readings);
   state_.keys = keys;
   state_.seed = config_.seed;

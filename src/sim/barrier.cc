@@ -1,0 +1,13 @@
+#include "sim/barrier.h"
+
+#include <stdexcept>
+
+namespace icpda::sim {
+
+ReductionBarrier::ReductionBarrier(std::size_t parties) : parties_(parties) {
+  if (parties == 0) {
+    throw std::invalid_argument("ReductionBarrier: zero parties");
+  }
+}
+
+}  // namespace icpda::sim

@@ -1,0 +1,60 @@
+// Reusable reduction barrier for the sharded conservative-PDES engine.
+//
+// All parties arrive; the LAST arriver runs a caller-supplied serial
+// section while every other party is parked on the condition variable,
+// then releases the generation. The serial section is where the engine
+// plans the next lookahead window and executes gated (cross-shard)
+// events in canonical order — the barrier's mutex gives it exclusive,
+// happens-before-ordered access to every shard's scheduler and state:
+// writes made by shard workers before arriving are visible to the
+// serial section, and its writes are visible to every worker after
+// release. One mutex + one condvar, generation-counted so the same
+// barrier is reused every round; ThreadSanitizer-clean by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace icpda::sim {
+
+class ReductionBarrier {
+ public:
+  explicit ReductionBarrier(std::size_t parties);
+
+  ReductionBarrier(const ReductionBarrier&) = delete;
+  ReductionBarrier& operator=(const ReductionBarrier&) = delete;
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+  /// Block until all parties have arrived. The last arriver runs
+  /// `on_last()` under the barrier mutex before waking the others.
+  /// `on_last` must not call back into the barrier.
+  template <typename F>
+  void arrive_and_wait(F&& on_last) {
+    std::unique_lock lk(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      on_last();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return generation_ != gen; });
+    }
+  }
+
+  /// Plain barrier (no serial section).
+  void arrive_and_wait() {
+    arrive_and_wait([] {});
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace icpda::sim

@@ -85,6 +85,17 @@ void MetricRegistry::merge(const MetricRegistry& other) {
   for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
 }
 
+void MetricRegistry::drain_into(MetricRegistry& dst) {
+  for (auto& [name, value] : counters_) {
+    dst.counters_[name] += value;
+    value = 0;  // node kept: bound Cells stay valid
+  }
+  for (auto& [name, s] : stats_) {
+    dst.stats_[name].merge(s);
+    s = RunningStats{};
+  }
+}
+
 void MetricRegistry::print(std::ostream& os) const {
   os << "counters:\n";
   for (const auto& [name, value] : counters_) {

@@ -194,6 +194,15 @@ class MetricRegistry {
   /// results do not depend on which thread finished first.
   void merge(const MetricRegistry& other);
 
+  /// Fold this registry into `dst` and reset it IN PLACE: counter
+  /// values move to `dst` and zero here, stats merge and reset here.
+  /// Unlike clear(), no map node is ever erased — pre-bound Cell
+  /// handles (the channel/MAC hot-path cells bound to a shard registry)
+  /// stay valid across the drain, which is what lets the sharded
+  /// Network drain its per-shard registries into the main one after
+  /// every run and keep simulating.
+  void drain_into(MetricRegistry& dst);
+
   /// Human-readable dump (used by examples and debugging).
   void print(std::ostream& os) const;
 

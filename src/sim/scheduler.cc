@@ -1,11 +1,34 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace icpda::sim {
 
-EventId Scheduler::at(SimTime t, EventFn fn) {
+namespace {
+/// Min-heap predicate for the border index (std::*_heap build
+/// max-heaps, so "greater" yields a min-heap).
+[[nodiscard]] bool border_later(const EventKey& a, const EventKey& b) {
+  return b < a;
+}
+
+/// The dispatch currently executing on this thread — the "parent" of
+/// everything it schedules. Thread-local rather than per-scheduler
+/// because a gate-executed event inserts into FOREIGN schedulers
+/// (cross-shard delivery), and the child's parentage is the acting
+/// event, not anything the target scheduler knows. Parallel drains
+/// each dispatch on their own worker thread, so contexts never mix.
+struct DispatchCtx {
+  bool active = false;
+  SimTime parent_sched_at = SimTime::infinity();
+  std::uint32_t parent_owner = kNoEventOwner;
+  std::uint32_t next_intra = 0;
+};
+thread_local DispatchCtx t_dispatch_ctx;
+}  // namespace
+
+EventId Scheduler::at(SimTime t, EventFn fn, std::uint32_t owner, bool border) {
   if (t < now_) {
     throw std::invalid_argument("Scheduler::at: time is in the past");
   }
@@ -20,13 +43,85 @@ EventId Scheduler::at(SimTime t, EventFn fn) {
     s = static_cast<std::uint32_t>(meta_.size());
     meta_.emplace_back();
     fns_.emplace_back();
+    ext_.emplace_back();
   }
   Meta& m = meta_[s];
   fns_[s] = std::move(fn);
+  // The Ext slab is written only under tracking: untracked schedulers
+  // never read it back (pop skips it, and only the sharded gate — which
+  // tracks by construction — calls next_key()), so skipping the store
+  // keeps the single-shard schedule path at its pre-sharding cost.
+  // Stale slot contents from before set_track_parentage(true) are ruled
+  // out by the engine enabling it before any event exists.
+  if (track_parentage_) {
+    Ext& x = ext_[s];
+    DispatchCtx& ctx = t_dispatch_ctx;
+    if (ctx.active) {
+      x = Ext{now_, ctx.parent_sched_at, ctx.parent_owner, ctx.next_intra++};
+    } else {
+      x = Ext{now_};  // setup code: FIFO-last at any tie (+inf anc2)
+    }
+  }
   m.heap_pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(HeapEntry{t, next_seq_++, s});
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(HeapEntry{t, seq, owner, s});
   sift_up(heap_.size() - 1);
+  if (border) index_border(t, seq, owner, s);
   return encode(s, m.gen);
+}
+
+// Out of line deliberately: only sharded runs ever tag border events,
+// and inlining the push_heap machinery doubles at()'s code size for
+// everyone else.
+void Scheduler::index_border(SimTime t, std::uint64_t seq,
+                             std::uint32_t owner, std::uint32_t s) {
+  const Ext& x = ext_[s];
+  border_.push_back(BorderEntry{
+      EventKey{t, now_, owner, seq, x.anc2, x.parent_owner, x.intra}, s,
+      meta_[s].gen});
+  std::push_heap(border_.begin(), border_.end(),
+                 [](const BorderEntry& a, const BorderEntry& b) {
+                   return border_later(a.key, b.key);
+                 });
+}
+
+void Scheduler::dispatch_tracked(Popped& ev) {
+  now_ = ev.at;
+  DispatchCtx& ctx = t_dispatch_ctx;
+  const DispatchCtx saved = ctx;
+  ctx = DispatchCtx{true, ev.sched_at, ev.owner, 0};
+  struct Restore {
+    DispatchCtx& ctx;
+    const DispatchCtx& saved;
+    ~Restore() { ctx = saved; }
+  } restore{ctx, saved};
+  Tracer* tr = tracer_;
+  const bool span = tr && tr->enabled() && tr->config().scheduler_spans;
+  if (span) {
+    tr->begin_span(kTraceGlobalNode, TracePhase::kDispatch, now_,
+                   static_cast<std::uint64_t>(ev.id));
+  }
+  ev.fn();
+  if (span) tr->end_span(kTraceGlobalNode, TracePhase::kDispatch, now_);
+  ++executed_;
+}
+
+bool Scheduler::next_border(EventKey& out) {
+  const auto later = [](const BorderEntry& a, const BorderEntry& b) {
+    return border_later(a.key, b.key);
+  };
+  while (!border_.empty()) {
+    const BorderEntry& top = border_.front();
+    const Meta& m = meta_[top.slot];
+    if (m.gen == top.gen && m.heap_pos != kNotQueued) {
+      out = top.key;
+      return true;
+    }
+    // Fired or cancelled since it was indexed: drop lazily.
+    std::pop_heap(border_.begin(), border_.end(), later);
+    border_.pop_back();
+  }
+  return false;
 }
 
 bool Scheduler::cancel(EventId id) {
@@ -97,13 +192,17 @@ void Scheduler::release(std::uint32_t s) {
   free_slots_.push_back(s);
 }
 
-bool Scheduler::pop_next(SimTime& at, EventId& id, EventFn& fn) {
+bool Scheduler::pop_next(Popped& out) {
   if (heap_.empty()) return false;
   const std::uint32_t s = heap_[0].slot;
   Meta& m = meta_[s];
-  at = heap_[0].at;
-  id = encode(s, m.gen);
-  fn = std::move(fns_[s]);  // move empties the slab cell
+  out.at = heap_[0].at;
+  // Only the parent-context publish in dispatch() consumes sched_at,
+  // and only under tracking — skip the slab load otherwise.
+  out.sched_at = track_parentage_ ? ext_[s].sched_at : SimTime::zero();
+  out.owner = heap_[0].owner;
+  out.id = encode(s, m.gen);
+  out.fn = std::move(fns_[s]);  // move empties the slab cell
   m.heap_pos = kNotQueued;
   ++m.gen;
   free_slots_.push_back(s);
@@ -119,11 +218,9 @@ bool Scheduler::pop_next(SimTime& at, EventId& id, EventFn& fn) {
 
 std::uint64_t Scheduler::run() {
   std::uint64_t fired = 0;
-  SimTime at;
-  EventId id;
-  EventFn fn;
-  while (pop_next(at, id, fn)) {
-    dispatch(at, id, fn);
+  Popped ev;
+  while (pop_next(ev)) {
+    dispatch(ev);
     ++fired;
   }
   return fired;
@@ -131,25 +228,39 @@ std::uint64_t Scheduler::run() {
 
 std::uint64_t Scheduler::run_until(SimTime deadline) {
   std::uint64_t fired = 0;
-  SimTime at;
-  EventId id;
-  EventFn fn;
+  Popped ev;
   while (!heap_.empty() && heap_[0].at <= deadline) {
-    pop_next(at, id, fn);
-    dispatch(at, id, fn);
+    pop_next(ev);
+    dispatch(ev);
     ++fired;
   }
   if (now_ < deadline) now_ = deadline;
   return fired;
 }
 
+std::uint64_t Scheduler::run_before(SimTime bound) {
+  std::uint64_t fired = 0;
+  Popped ev;
+  while (!heap_.empty() && heap_[0].at < bound) {
+    pop_next(ev);
+    dispatch(ev);
+    ++fired;
+  }
+  return fired;
+}
+
+bool Scheduler::run_one() {
+  Popped ev;
+  if (!pop_next(ev)) return false;
+  dispatch(ev);
+  return true;
+}
+
 std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
   std::uint64_t fired = 0;
-  SimTime at;
-  EventId id;
-  EventFn fn;
-  while (fired < max_events && pop_next(at, id, fn)) {
-    dispatch(at, id, fn);
+  Popped ev;
+  while (fired < max_events && pop_next(ev)) {
+    dispatch(ev);
     ++fired;
   }
   return fired;
@@ -158,6 +269,7 @@ std::uint64_t Scheduler::run_steps(std::uint64_t max_events) {
 void Scheduler::reset() {
   for (const HeapEntry& e : heap_) release(e.slot);
   heap_.clear();
+  border_.clear();
   now_ = SimTime::zero();
   executed_ = 0;
 }

@@ -1,0 +1,39 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icpda::sim {
+
+ShardPlan make_stripe_plan(const std::vector<double>& xs, double field_width,
+                           std::uint32_t shards, const NeighborFn& neighbors) {
+  if (shards == 0) throw std::invalid_argument("make_stripe_plan: zero shards");
+  if (field_width <= 0.0) {
+    throw std::invalid_argument("make_stripe_plan: non-positive field width");
+  }
+  ShardPlan plan;
+  plan.shard_count = shards;
+  plan.shard_of.resize(xs.size());
+  plan.border.assign(xs.size(), 0);
+  plan.shard_sizes.assign(shards, 0);
+  const double stripe = field_width / static_cast<double>(shards);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = std::clamp(xs[i], 0.0, field_width);
+    auto s = static_cast<std::uint32_t>(x / stripe);
+    s = std::min(s, shards - 1);
+    plan.shard_of[i] = s;
+    ++plan.shard_sizes[s];
+  }
+  if (shards > 1) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::uint32_t home = plan.shard_of[i];
+      neighbors(static_cast<std::uint32_t>(i), [&](std::uint32_t n) {
+        if (plan.shard_of[n] != home) plan.border[i] = 1;
+      });
+      if (plan.border[i] != 0) ++plan.border_count;
+    }
+  }
+  return plan;
+}
+
+}  // namespace icpda::sim

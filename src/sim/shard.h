@@ -1,0 +1,47 @@
+// Spatial shard plan: the static partition behind the parallel epoch
+// engine (net/shard_engine.h).
+//
+// The field is cut into vertical stripes of equal width; a node's shard
+// is the stripe its x coordinate falls in. A node is a *border* node
+// iff any of its radio neighbours lives in a different shard — only
+// border nodes can interact across a shard boundary, and only when
+// they transmit (or a unicast addressed to them solicits an ACK).
+// Everything the lookahead engine needs is derived here, once, from
+// the topology: the partition map, the border set, and the per-shard
+// population.
+//
+// This header is deliberately net-type-free (plain integer ids + a
+// neighbour callback) so sim/ does not depend on net/: the Network
+// adapts its CSR topology when building the plan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace icpda::sim {
+
+struct ShardPlan {
+  std::uint32_t shard_count = 1;
+  /// Node id -> shard index.
+  std::vector<std::uint32_t> shard_of;
+  /// Node id -> 1 iff any neighbour is in another shard.
+  std::vector<std::uint8_t> border;
+  std::size_t border_count = 0;
+  std::vector<std::uint32_t> shard_sizes;
+
+  [[nodiscard]] std::size_t node_count() const { return shard_of.size(); }
+};
+
+/// Enumerate `node`'s neighbours through the callback.
+using NeighborFn =
+    std::function<void(std::uint32_t node, const std::function<void(std::uint32_t)>&)>;
+
+/// Cut `[0, field_width)` into `shards` equal vertical stripes and
+/// assign each node by its x coordinate (clamped into range). With
+/// shards == 1 every node is interior and the plan is trivial.
+[[nodiscard]] ShardPlan make_stripe_plan(const std::vector<double>& xs,
+                                         double field_width, std::uint32_t shards,
+                                         const NeighborFn& neighbors);
+
+}  // namespace icpda::sim

@@ -35,6 +35,10 @@ const char* trace_counter_name(TraceCounter c) {
     case TraceCounter::kQueryLaunch: return "query_launch";
     case TraceCounter::kQueryComplete: return "query_complete";
     case TraceCounter::kQueryDrop: return "query_drop";
+    case TraceCounter::kShardRounds: return "shard_rounds";
+    case TraceCounter::kShardGateRounds: return "shard_gate_rounds";
+    case TraceCounter::kShardGateEvents: return "shard_gate_events";
+    case TraceCounter::kShardParallelEvents: return "shard_parallel_events";
     case TraceCounter::kMaxCounter: break;
   }
   return "invalid";
@@ -98,16 +102,37 @@ const Tracer::Ring& Tracer::ring_for(std::uint32_t node) const {
 }
 
 void Tracer::record(std::uint32_t node, TraceEvent ev) {
-  ev.seq = next_seq_++;
-  ev.epoch = epoch_;
   Ring& ring = ring_for(node);
+  // Sharded mode: per-ring counters. A ring has exactly one writer at
+  // any moment (the node's home shard, or the serialized gate), so no
+  // shared counter is ever touched from two shards concurrently.
+  ev.seq = sharded_ ? ring.next_seq++ : next_seq_++;
+  ev.epoch = epoch_;
   ring.slots[ring.head] = ev;
   ring.head = (ring.head + 1) % ring.slots.size();
   if (ring.count < ring.slots.size()) {
     ++ring.count;
   } else {
-    ++dropped_;  // overwrote the oldest event in this ring
+    // Overwrote the oldest event in this ring.
+    if (sharded_) {
+      ++ring.dropped;
+    } else {
+      ++dropped_;
+    }
   }
+}
+
+std::uint64_t Tracer::recorded() const {
+  if (!sharded_) return next_seq_;
+  std::uint64_t total = next_seq_;
+  for (const Ring& r : rings_) total += r.next_seq;
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = dropped_;
+  for (const Ring& r : rings_) total += r.dropped;
+  return total;
 }
 
 void Tracer::begin_span(std::uint32_t node, TracePhase phase, SimTime t,
@@ -240,9 +265,14 @@ std::vector<TraceEvent> Tracer::merged() const {
     }
   }
   // Per-ring slices are already seq-sorted; a global sort on the unique
-  // seq restores the canonical interleaving.
-  std::sort(out.begin(), out.end(),
-            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  // seq restores the canonical interleaving. In sharded mode seqs are
+  // per-ring (not unique), so the node id breaks ties — the result is
+  // stable but the cross-node interleaving is no longer the execution
+  // order; compare sharded traces per-node (canonical_trace_digest).
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.node < b.node;
+  });
   return out;
 }
 

@@ -73,6 +73,13 @@ enum class TraceCounter : std::uint8_t {
   kQueryLaunch,     ///< service dispatcher launched a query (value = query id)
   kQueryComplete,   ///< service query closed at the BS (value = query id)
   kQueryDrop,       ///< service admission dropped a query (value = query id)
+  // Sharded-engine barrier counters (net/shard_engine.h), recorded on
+  // the global pseudo-node once per run when Config::shard_counters is
+  // set. Values are counts, not bytes.
+  kShardRounds,         ///< lookahead windows advanced
+  kShardGateRounds,     ///< windows that needed a serialized gate
+  kShardGateEvents,     ///< events executed inside gates (serial)
+  kShardParallelEvents, ///< events executed in parallel drains
   kMaxCounter,      ///< sentinel: number of counters
 };
 
@@ -131,6 +138,10 @@ class Tracer {
     bool rx_events = true;
     /// Record MAC backoff draws (kBackoffSlots).
     bool mac_events = true;
+    /// Record the sharded engine's window/gate occupancy counters
+    /// (kShard*) on the global pseudo-node at the end of each run. Off
+    /// by default so single-shard golden traces are unaffected.
+    bool shard_counters = false;
   };
 
   Tracer() = default;
@@ -144,6 +155,18 @@ class Tracer {
 
   /// Stop recording and release every ring.
   void disable();
+
+  /// Sharded recording mode (set by the Network when it runs the
+  /// parallel engine): sequence numbers and drop counts become
+  /// per-ring, so concurrent shards never touch a shared counter — a
+  /// node's events are recorded only by its home shard (or inside the
+  /// serialized gate), so each ring stays single-writer. Per-ring seq
+  /// still orders one node's events totally; the cross-node
+  /// interleaving is no longer meaningful, which is why sharded
+  /// equivalence is judged on the per-node canonical digest
+  /// (analysis::canonical_trace_digest) rather than merged() order.
+  void set_sharded(bool sharded) { sharded_ = sharded; }
+  [[nodiscard]] bool sharded() const { return sharded_; }
 
   [[nodiscard]] bool enabled() const { return kTraceCompiled && enabled_; }
   [[nodiscard]] const Config& config() const { return config_; }
@@ -195,9 +218,9 @@ class Tracer {
   // ---- inspection ---------------------------------------------------
 
   /// Events recorded (including any later overwritten by ring wrap).
-  [[nodiscard]] std::uint64_t recorded() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t recorded() const;
   /// Events lost to ring-buffer overwrite.
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped() const;
   /// Epochs finalized so far.
   [[nodiscard]] std::uint16_t epoch() const { return epoch_; }
 
@@ -214,6 +237,10 @@ class Tracer {
     std::vector<TraceEvent> slots;
     std::size_t head = 0;   ///< next write position
     std::size_t count = 0;  ///< live events (<= slots.size())
+    /// Sharded mode only: per-ring sequence and overwrite counters, so
+    /// concurrent shards share no mutable tracer state.
+    std::uint64_t next_seq = 0;
+    std::uint64_t dropped = 0;
   };
 
   /// Fixed-depth span stack; deeper nesting is clamped (deepest frame
@@ -235,6 +262,7 @@ class Tracer {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint16_t epoch_ = 0;
+  bool sharded_ = false;
 };
 
 }  // namespace icpda::sim

@@ -1,28 +1,55 @@
 #!/usr/bin/env sh
-# Run the fault-path test binaries under sanitizers, in two passes:
+# Run the fault-path test binaries under sanitizers, in three passes:
 #
 #   1. asan  — AddressSanitizer + UBSan together: object-lifetime bugs
 #      on the crash/purge/recovery paths the happy path never touches.
 #   2. ubsan — UBSan alone: no shadow-memory slowdown, so the
 #      allocation-heavy randomized suites (property/fuzz, label `slow`)
 #      join the run and hostile-input UB gets real coverage.
+#   3. tsan  — ThreadSanitizer over the sharded-engine suites: the
+#      conservative-PDES worker drains (net/shard_engine.cc) run
+#      concurrent Scheduler::run_before on a shared Channel, and the
+#      determinism tests alone cannot see a torn read that happens to
+#      produce the right bytes.
 #
 # Usage: tests/run_sanitized.sh [extra ctest -R regex]
+#
+# ICPDA_SAN_LANES selects a subset of passes (default "asan ubsan
+# tsan") so CI can split the lanes into separate jobs.
 set -eu
 
 repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cd "$repo_root"
 jobs="$(nproc 2>/dev/null || echo 4)"
+lanes="${ICPDA_SAN_LANES:-asan ubsan tsan}"
 
 filter="${1:-FaultInjectionTest|MacFailureTest|LossGuardTest|TraceTest|TraceConservationTest|AttackTest|ServiceTest|CryptoBatchTest|CpdaExactPathTest|EpochArenaTest|AllocRegressionTest}"
 
-echo "== pass 1/2: asan (address+undefined) =="
-cmake --preset asan
-cmake --build --preset asan -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -R "$filter"
+case " $lanes " in *" asan "*)
+  echo "== asan (address+undefined) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -R "$filter"
+esac
 
-echo "== pass 2/2: ubsan (undefined only, including slow suites) =="
-cmake --preset ubsan
-cmake --build --preset ubsan -j "$jobs"
-ctest --test-dir build-ubsan --output-on-failure -R "$filter"
-ctest --test-dir build-ubsan --output-on-failure -L slow
+case " $lanes " in *" ubsan "*)
+  echo "== ubsan (undefined only, including slow suites) =="
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "$jobs"
+  ctest --test-dir build-ubsan --output-on-failure -R "$filter"
+  ctest --test-dir build-ubsan --output-on-failure -L slow
+esac
+
+case " $lanes " in *" tsan "*)
+  echo "== tsan (sharded-engine concurrency) =="
+  tsan_filter="ShardDeterminismTest|ShardLookaheadTest|SchedulerTest"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  # The lookahead sweep's default 5000 cases is sized for native
+  # builds; TSan's ~10x slowdown gets full value from a tenth of the
+  # budget.
+  ICPDA_LOOKAHEAD_CASES=500 ctest --test-dir build-tsan --output-on-failure -R "$tsan_filter"
+  # Full-campaign smoke at shards=8 x threads=8: the real protocol
+  # running through the engine's parallel drains, under TSan.
+  ctest --test-dir build-tsan --output-on-failure -R "smoke_bench_fault_shard_invariance"
+esac

@@ -3,8 +3,9 @@
 
 Runs bench_micro (google-benchmark JSON output), extracts the DES
 substrate + protocol hot-path kernels, and compares them against the
-checked-in baseline (BENCH_PR8.json — one comprehensive file; the
-older BENCH_PR4/PR7 files are kept as history), printing a per-kernel
+checked-in baselines (BENCH_PR8.json for the single-engine kernels
+plus BENCH_PR9.json for the sharded-engine kernels; the older
+BENCH_PR4/PR7 files are kept as history), printing a per-kernel
 wall-clock delta. The step is advisory by default (exit 0 regardless
 of deltas): CI runners have noisy clocks, so timing regressions are
 flagged for a human, not gated. Pass --max-regress PCT to turn it
@@ -36,12 +37,13 @@ import sys
 # names and Arg lists are kept stable for this comparison).
 DEFAULT_FILTER = (
     "BM_SchedulerChurn|BM_SchedulerPushPop|BM_SchedulerCancel|"
-    "BM_ChannelBroadcastFanout|BM_IcpdaEpoch|BM_TopologyBuild|"
+    "BM_ChannelBroadcastFanout|BM_IcpdaEpoch|BM_IcpdaEpochSharded|"
+    "BM_TopologyBuild|"
     "BM_ServicePipeline|BM_MakeShares|BM_SolveClusterSum|BM_SealOpen|"
     "BM_Prf64|BM_LinkKeyBatch"
 )
 
-DEFAULT_BASELINES = ["BENCH_PR8.json"]
+DEFAULT_BASELINES = ["BENCH_PR8.json", "BENCH_PR9.json"]
 
 # cur < base / SUSPICIOUS_SPEEDUP is treated as "too good to be true".
 SUSPICIOUS_SPEEDUP = 10.0
@@ -67,6 +69,8 @@ def run_bench(bench, bench_filter, big_n):
             entry["items_per_second"] = b["items_per_second"]
         if "events_per_epoch" in b:
             entry["events_per_epoch"] = b["events_per_epoch"]
+        if "parallel_fraction" in b:
+            entry["parallel_fraction"] = b["parallel_fraction"]
         results[b["name"]] = entry
     return results
 
@@ -110,13 +114,15 @@ def main():
         return
 
     baseline = {}
+    source = {}  # kernel name -> baseline file it was loaded from
     for path in baselines:
         with open(path, encoding="utf-8") as fh:
             for name, entry in json.load(fh)["benchmarks"].items():
                 if name in baseline:
-                    sys.exit(f"perf_smoke: kernel {name} appears in more "
-                             f"than one baseline file")
+                    sys.exit(f"perf_smoke: kernel {name} appears in both "
+                             f"{source[name]} and {path}")
                 baseline[name] = entry
+                source[name] = path
 
     worst = 0.0
     suspicious = []
@@ -125,11 +131,13 @@ def main():
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
-            print(f"{name:<{width}}  {'—':>12}  {'—':>12}  (not run)")
+            print(f"{name:<{width}}  {'—':>12}  {'—':>12}  "
+                  f"(in {source[name]} but not run)")
             continue
         if cur["time_unit"] != base["time_unit"]:
             sys.exit(f"perf_smoke: {name}: unit changed "
-                     f"{base['time_unit']} -> {cur['time_unit']}")
+                     f"{base['time_unit']} (from {source[name]}) -> "
+                     f"{cur['time_unit']}")
         delta = 100.0 * (cur["real_time"] - base["real_time"]) / base["real_time"]
         worst = max(worst, delta)
         unit = base["time_unit"]
