@@ -10,6 +10,7 @@
 // bench suite in the low minutes on a laptop).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -62,12 +63,20 @@ inline int trials() {
 /// Spatial shards per simulated Network (net/shard_engine.h), from
 /// ICPDA_SHARDS (also set by the runner's --shards flag). Rows are
 /// byte-identical at every value — tests/shard_determinism_test.cc.
+/// Garbage is a hard error, not a silent fall-back to 1: a typo'd
+/// shard count would quietly produce single-engine scaling numbers.
 inline std::size_t shards() {
-  if (const char* env = std::getenv("ICPDA_SHARDS")) {
-    const int s = std::atoi(env);
-    if (s > 0) return static_cast<std::size_t>(s);
+  const char* env = std::getenv("ICPDA_SHARDS");
+  if (!env) return 1;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long s = std::strtoull(env, &end, 10);
+  if (*env < '0' || *env > '9' || errno != 0 || *end != '\0' || s == 0) {
+    std::fprintf(stderr,
+                 "ICPDA_SHARDS: expected a positive integer, got '%s'\n", env);
+    std::exit(2);
   }
-  return 1;
+  return static_cast<std::size_t>(s);
 }
 
 /// The paper-family network sizes (400 m x 400 m field, 50 m range).

@@ -165,6 +165,21 @@ class Channel {
   [[nodiscard]] const ChannelConfig& config() const { return config_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
+  /// Heap bytes held by the physical state (per-node carrier clocks and
+  /// reception pools) and the per-shard acting contexts (in-flight
+  /// frame pools). Capacity-based: reports the high-water pool sizes.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t bytes = tx_until_.capacity() * sizeof(sim::SimTime) +
+                        receptions_.capacity() * sizeof(std::vector<Reception>);
+    for (const auto& pool : receptions_) bytes += pool.capacity() * sizeof(Reception);
+    for (const ShardCtx& ctx : ctxs_) {
+      bytes += ctx.inflight.capacity() * sizeof(Frame) +
+               ctx.free_inflight.capacity() * sizeof(std::uint32_t);
+      for (const Frame& f : ctx.inflight) bytes += f.payload.capacity();
+    }
+    return bytes;
+  }
+
  private:
   /// One in-flight frame at one receiver. An entry lives in the
   /// receiver's slot pool from start-of-frame until the transmission's

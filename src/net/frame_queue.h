@@ -1,0 +1,80 @@
+// Compact FIFO of link-layer frames.
+//
+// std::deque was the natural container for the MAC transmit queue, but
+// libstdc++'s deque pays a ~576-byte floor per instance (the chunk map
+// plus one 512-byte chunk, allocated in the default constructor) —
+// real money when there is one queue per node and the N=1M target
+// means a million of them, most of which hold zero or one frame at any
+// instant. This vector-backed queue starts at 24 bytes and allocates
+// nothing until the first frame is queued.
+//
+// pop_front() advances a head index instead of shifting; the dead
+// prefix is compacted away once it outgrows the live region, so a
+// sequence of k pushes and pops costs O(k) amortized moves, same as
+// the deque. Logical indexing ([], erase) is what Mac::fail_queued_to
+// needs to purge doomed frames mid-queue.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace icpda::net {
+
+class FrameQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+
+  [[nodiscard]] Frame& front() { return buf_[head_]; }
+  [[nodiscard]] const Frame& front() const { return buf_[head_]; }
+
+  /// Logical index: [0] is the front.
+  [[nodiscard]] Frame& operator[](std::size_t i) { return buf_[head_ + i]; }
+  [[nodiscard]] const Frame& operator[](std::size_t i) const {
+    return buf_[head_ + i];
+  }
+
+  void push_back(Frame f) { buf_.push_back(std::move(f)); }
+
+  void pop_front() {
+    ++head_;
+    compact();
+  }
+
+  /// Remove the frame at logical index `i` (shifts the tail down).
+  void erase(std::size_t i) {
+    buf_.erase(buf_.begin() + static_cast<std::ptrdiff_t>(head_ + i));
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  /// Heap bytes held (frame slots + their payload buffers).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t bytes = buf_.capacity() * sizeof(Frame);
+    for (const Frame& f : buf_) bytes += f.payload.capacity();
+    return bytes;
+  }
+
+ private:
+  void compact() {
+    if (head_ == buf_.size()) {
+      // Empty: reset in place, capacity retained for the next burst.
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 16 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<Frame> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace icpda::net

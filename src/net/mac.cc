@@ -52,7 +52,7 @@ void Mac::fail_queued_to(NodeId dst) {
   for (std::size_t i = first; i < queue_.size();) {
     if (queue_[i].dst == dst) {
       doomed.push_back(std::move(queue_[i]));
-      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      queue_.erase(i);
     } else {
       ++i;
     }
@@ -63,8 +63,8 @@ void Mac::fail_queued_to(NodeId dst) {
     trace_drop(f);
     if (sink_ != nullptr) {
       sink_->dispatch_send_failed(f);
-    } else if (cbs_.on_send_failed) {
-      cbs_.on_send_failed(f);
+    } else if (cbs_ && cbs_->on_send_failed) {
+      cbs_->on_send_failed(f);
     }
   }
 }
@@ -82,8 +82,8 @@ void Mac::send(Frame frame) {
     trace_drop(frame);
     if (sink_ != nullptr) {
       sink_->dispatch_send_failed(frame);
-    } else if (cbs_.on_send_failed) {
-      cbs_.on_send_failed(frame);
+    } else if (cbs_ && cbs_->on_send_failed) {
+      cbs_->on_send_failed(frame);
     }
     return;
   }
@@ -186,8 +186,8 @@ void Mac::finish_current(bool success) {
     trace_drop(done);
     if (sink_ != nullptr) {
       sink_->dispatch_send_failed(done);
-    } else if (cbs_.on_send_failed) {
-      cbs_.on_send_failed(done);
+    } else if (cbs_ && cbs_->on_send_failed) {
+      cbs_->on_send_failed(done);
     }
   }
   if (!queue_.empty()) try_start();
@@ -246,8 +246,8 @@ void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
   if (frame.is_broadcast()) {
     if (sink_ != nullptr) {
       sink_->dispatch_receive(frame);
-    } else if (cbs_.on_deliver) {
-      cbs_.on_deliver(frame);
+    } else if (cbs_ && cbs_->on_deliver) {
+      cbs_->on_deliver(frame);
     }
     return;
   }
@@ -255,11 +255,22 @@ void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
   // Duplicate suppression (unicast): sequence numbers are monotone per
   // sender (one frame in flight at a time), so a repeat means the
   // sender missed our ACK and retransmitted. Re-ACK but do not
-  // re-deliver.
-  if (frame.src >= last_seen_seq_.size()) last_seen_seq_.resize(frame.src + 1, 0);
-  std::uint32_t& last_seen = last_seen_seq_[frame.src];
-  const bool duplicate = last_seen != 0 && frame.seq <= last_seen;
-  if (!duplicate) last_seen = frame.seq;
+  // re-deliver. The table is linear-scanned: only one-hop neighbours
+  // can be heard, so it holds at most degree-many entries and in
+  // practice a handful (cluster members unicast to their head only).
+  std::uint32_t* last_seen = nullptr;
+  for (SeenSeq& e : last_seen_) {
+    if (e.src == frame.src) {
+      last_seen = &e.seq;
+      break;
+    }
+  }
+  if (last_seen == nullptr) {
+    last_seen_.push_back(SeenSeq{frame.src, 0});
+    last_seen = &last_seen_.back().seq;
+  }
+  const bool duplicate = *last_seen != 0 && frame.seq <= *last_seen;
+  if (!duplicate) *last_seen = frame.seq;
 
   if (frame.dst == self_) {
     send_ack(frame);
@@ -269,8 +280,8 @@ void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
     }
     if (sink_ != nullptr) {
       sink_->dispatch_receive(frame);
-    } else if (cbs_.on_deliver) {
-      cbs_.on_deliver(frame);
+    } else if (cbs_ && cbs_->on_deliver) {
+      cbs_->on_deliver(frame);
     }
   } else {
     // Addressed elsewhere: promiscuous overhearing path.
@@ -280,10 +291,17 @@ void Mac::handle_reception(const Frame& frame, ReceptionStatus status) {
     }
     if (sink_ != nullptr) {
       sink_->dispatch_overhear(frame);
-    } else if (cbs_.on_overhear) {
-      cbs_.on_overhear(frame);
+    } else if (cbs_ && cbs_->on_overhear) {
+      cbs_->on_overhear(frame);
     }
   }
+}
+
+std::size_t Mac::footprint_bytes() const {
+  std::size_t bytes = queue_.footprint_bytes();
+  bytes += last_seen_.capacity() * sizeof(SeenSeq);
+  if (cbs_) bytes += sizeof(Callbacks);
+  return bytes;
 }
 
 }  // namespace icpda::net

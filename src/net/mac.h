@@ -10,11 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/channel.h"
+#include "net/frame_queue.h"
 #include "net/packet.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
@@ -55,7 +56,9 @@ class Mac {
   Mac(const Mac&) = delete;
   Mac& operator=(const Mac&) = delete;
 
-  void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
+  void set_callbacks(Callbacks cbs) {
+    cbs_ = std::make_unique<Callbacks>(std::move(cbs));
+  }
 
   /// Production fast path (Network::wire): route deliveries,
   /// overhears and send failures straight into the owning Node's
@@ -108,6 +111,10 @@ class Mac {
   /// Channel entry point: the Network routes every reception here.
   void handle_reception(const Frame& frame, ReceptionStatus status);
 
+  /// Heap bytes held by this MAC beyond sizeof(Mac): queued frames and
+  /// their payloads, the per-sender dedup table, test callbacks.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
  private:
   enum class State : std::uint8_t { kIdle, kDeferring, kTransmitting, kAwaitingAck };
 
@@ -118,7 +125,10 @@ class Mac {
   sim::MetricRegistry& metrics_;
   MacConfig config_;
   sim::Tracer* tracer_ = nullptr;
-  Callbacks cbs_;
+  /// Test-rig hooks only (production wiring uses sink_); boxed so the
+  /// common case pays one null pointer instead of three std::functions
+  /// (~96 bytes per node).
+  std::unique_ptr<Callbacks> cbs_;
   Node* sink_ = nullptr;
   bool border_ = false;
 
@@ -135,7 +145,7 @@ class Mac {
   sim::MetricRegistry::Cell cs_busy_{"mac.cs_busy"};
   sim::MetricRegistry::Cell ack_timeout_count_{"mac.ack_timeout"};
 
-  std::deque<Frame> queue_;
+  FrameQueue queue_;
   State state_ = State::kIdle;
   bool down_ = false;
   std::uint32_t retries_ = 0;
@@ -145,10 +155,19 @@ class Mac {
   bool ack_timer_armed_ = false;
   /// Highest data-frame sequence seen per sender; suppresses the
   /// duplicate deliveries a lost ACK + retransmission would cause.
-  /// Flat array indexed by sender id (node ids are dense small
-  /// integers); 0 means "nothing seen" — valid because the MAC stamps
-  /// sequences from next_seq_, which starts at 1.
-  std::vector<std::uint32_t> last_seen_seq_;
+  /// Keyed by actual unicast senders, linear-scanned: a node only ever
+  /// hears its one-hop neighbours, so the table stays at most
+  /// degree-sized. (The obvious flat array indexed by sender id was
+  /// quadratic in disguise: node ids are scattered uniformly over the
+  /// field, so nearly every node resized its array to ~N entries —
+  /// ~4·N bytes per node, ~4 TB at the N=1M target.) seq 0 means
+  /// "nothing seen" — valid because the MAC stamps sequences from
+  /// next_seq_, which starts at 1.
+  struct SeenSeq {
+    NodeId src;
+    std::uint32_t seq;
+  };
+  std::vector<SeenSeq> last_seen_;
 
   void try_start();
   void defer();

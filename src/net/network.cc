@@ -1,6 +1,10 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +16,24 @@ Topology build_topology(const NetworkConfig& config, sim::Rng& rng) {
   sim::Rng topo_rng = rng.fork("topology");
   return make_random_topology(field, config.node_count, config.range_m, topo_rng,
                               config.base_station_at_center);
+}
+
+/// With ICPDA_ANNOUNCE_PLAN set (the runner sets it alongside its
+/// progress reporter), print each distinct (node count, shard count)
+/// partition once to stderr — campaigns build thousands of Networks,
+/// so per-instance printing would drown the progress line.
+void announce_plan(const sim::ShardPlan& plan, std::size_t nodes) {
+  if (std::getenv("ICPDA_ANNOUNCE_PLAN") == nullptr) return;
+  static std::mutex mu;
+  static std::set<std::pair<std::size_t, std::uint32_t>> seen;
+  const std::scoped_lock lock(mu);
+  if (!seen.insert({nodes, plan.shard_count}).second) return;
+  std::fprintf(stderr,
+               "[shard-plan] n=%zu tiles=%u border=%zu (%.1f%%) balance=%.2f\n",
+               nodes, plan.shard_count, plan.border_count,
+               100.0 * static_cast<double>(plan.border_count) /
+                   static_cast<double>(nodes == 0 ? 1 : nodes),
+               plan.balance());
 }
 }  // namespace
 
@@ -37,14 +59,18 @@ void Network::wire() {
       std::min<std::size_t>(config_.shards, topology_.size()));
   if (shards > 1) {
     std::vector<double> xs(topology_.size());
+    std::vector<double> ys(topology_.size());
     for (NodeId id = 0; id < topology_.size(); ++id) {
       xs[id] = topology_.position(id).x;
+      ys[id] = topology_.position(id).y;
     }
-    plan_ = sim::make_stripe_plan(
-        xs, config_.field_width_m, shards,
+    plan_ = sim::make_tile_plan(
+        xs, ys, config_.field_width_m, config_.field_height_m, config_.range_m,
+        shards,
         [this](std::uint32_t node, const std::function<void(std::uint32_t)>& fn) {
           for (const NodeId r : topology_.neighbors(node)) fn(r);
         });
+    announce_plan(plan_, topology_.size());
     shard_scheds_.reserve(shards);
     shard_metrics_.reserve(shards);
     for (std::uint32_t s = 0; s < shards; ++s) {
@@ -142,6 +168,26 @@ void Network::start() {
   for (auto& n : nodes_) {
     if (n->app()) n->app()->start(*n);
   }
+}
+
+Network::Footprint Network::footprint() const {
+  Footprint f;
+  f.topology = topology_.footprint_bytes();
+  f.schedulers = scheduler_.footprint_bytes();
+  for (const auto& s : shard_scheds_) f.schedulers += s->footprint_bytes();
+  f.channel = channel_ ? channel_->footprint_bytes() : 0;
+  for (const auto& m : macs_) f.macs += m->footprint_bytes();
+  f.metrics = metrics_.footprint_bytes();
+  for (const auto& m : shard_metrics_) f.metrics += m->footprint_bytes();
+  f.plan = plan_.shard_of.capacity() * sizeof(std::uint32_t) +
+           plan_.border.capacity() * sizeof(std::uint8_t) +
+           plan_.shard_sizes.capacity() * sizeof(std::uint32_t) +
+           plan_.est_load.capacity() * sizeof(std::uint64_t);
+  f.objects = macs_.size() * (sizeof(Mac) + sizeof(Node) + 2 * sizeof(void*)) +
+              mac_raw_.capacity() * sizeof(Mac*) +
+              alive_.capacity() * sizeof(std::uint8_t) + sizeof(Network) +
+              (channel_ ? sizeof(Channel) : 0);
+  return f;
 }
 
 sim::SimTime Network::run(sim::SimTime horizon) {

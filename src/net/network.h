@@ -9,7 +9,7 @@
 // in (config, seed), cheap enough to build thousands per benchmark.
 //
 // Sharded execution (NetworkConfig::shards > 1): the field is cut into
-// vertical stripes (sim/shard.h), each stripe gets its own
+// event-load-balanced 2-D tiles (sim/shard.h), each tile gets its own
 // sim::Scheduler and sim::MetricRegistry, and run() drives them through
 // the conservative-PDES ShardEngine on an owned worker pool instead of
 // the single scheduler. The partition is invisible to protocol code —
@@ -87,6 +87,16 @@ class Network {
     return engine_ ? shard_scheds_[0]->now() : scheduler_.now();
   }
 
+  /// Events executed so far, summed across every engine — the number
+  /// the shard-determinism suite reconciles EXACTLY against the
+  /// single-shard reference (and against the ShardEngine's own
+  /// gate/parallel accounting).
+  [[nodiscard]] std::uint64_t executed_events() const {
+    std::uint64_t total = scheduler_.executed();
+    for (const auto& s : shard_scheds_) total += s->executed();
+    return total;
+  }
+
   [[nodiscard]] Channel& channel() { return *channel_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] sim::MetricRegistry& metrics() { return metrics_; }
@@ -159,6 +169,27 @@ class Network {
   /// the ShardEngine here and fold the per-shard registries into
   /// metrics() (in shard order — deterministic) before returning.
   sim::SimTime run(sim::SimTime horizon = sim::SimTime::infinity());
+
+  // ---- Footprint accounting -----------------------------------------
+
+  /// Per-subsystem heap accounting for the memory-diet work
+  /// (tools/mem_footprint.py gates bytes-per-node against a checked-in
+  /// baseline). Capacity-based high-water numbers; `objects` covers the
+  /// fixed sizeof() of every Mac/Node/App-owning allocation, the
+  /// category-specific fields count only what those objects point at.
+  struct Footprint {
+    std::size_t topology = 0;    ///< positions + CSR adjacency
+    std::size_t schedulers = 0;  ///< event slabs, all engines
+    std::size_t channel = 0;     ///< carrier clocks, reception + frame pools
+    std::size_t macs = 0;        ///< queues, dedup tables, callbacks
+    std::size_t metrics = 0;     ///< all registries (main + per-shard)
+    std::size_t plan = 0;        ///< shard partition arrays
+    std::size_t objects = 0;     ///< sizeof of per-node objects + ptr arrays
+    [[nodiscard]] std::size_t total() const {
+      return topology + schedulers + channel + macs + metrics + plan + objects;
+    }
+  };
+  [[nodiscard]] Footprint footprint() const;
 
  private:
   void wire();

@@ -38,25 +38,18 @@ namespace {
 
 // Cross-shard dispatch order at the gate. Per-shard FIFO seq counters
 // are incomparable across schedulers, so a (fire time, schedule time)
-// tie is ordered by PARENTAGE: tied events were scheduled by dispatches
-// at the same clock instant, and those parent dispatches executed in
-// (their own schedule time = anc2, then FIFO) order — comparing anc2
-// reconstructs the single-heap FIFO order exactly whenever the parents
-// themselves do not tie; same parent (equal anc2 and parent_owner)
-// orders by intra-dispatch index, again exactly FIFO. Only when two
-// DIFFERENT parents tie in (at, sched_at) as well does the order fall
-// back to the child owner id — engine-independent (a node's id never
-// depends on its home shard), and equal to FIFO at the known batch
-// sites, which iterate nodes ascending. A full-key tie across shards
-// is impossible for owned events (an owner lives in exactly one
-// shard); the strict compare then keeps the lower shard index.
+// tie is ordered by the full parent dispatch LINEAGE
+// (sim::canonical_cross_before → sim::lineage_cmp): tied children
+// fire in their parents' dispatch order, tied parents recurse one
+// causal level up, and chains bottoming out at install-scheduled
+// roots compare by the global install sequence — the exact
+// single-heap FIFO order, not a fixed-depth approximation (the PR-9
+// two-level truncation reordered deep slot-aligned MAC ties at paper
+// density, which snowballed into different carrier-sense outcomes; see
+// DESIGN.md §5k). Only chains cut at the lineage depth cap fall back
+// to the owner id, which is engine-independent.
 [[nodiscard]] bool gate_before(const sim::EventKey& a, const sim::EventKey& b) {
-  if (a.at != b.at) return a.at < b.at;
-  if (a.sched_at != b.sched_at) return a.sched_at < b.sched_at;
-  if (a.anc2 != b.anc2) return a.anc2 < b.anc2;
-  if (a.parent_owner != b.parent_owner) return a.parent_owner < b.parent_owner;
-  if (a.intra != b.intra) return a.intra < b.intra;
-  return a.owner < b.owner;
+  return sim::canonical_cross_before(a, b);
 }
 
 }  // namespace
@@ -99,12 +92,9 @@ sim::SimTime ShardEngine::run(sim::SimTime horizon, bool serialize_all) {
   stats_ = Stats{};
   struct Plan {
     bool done = false;
-    bool gate = false;
     sim::SimTime drain_bound = sim::SimTime::zero();
-    sim::SimTime gate_bound = sim::SimTime::zero();
   };
   Plan plan;
-  bool first = true;
   sim::ReductionBarrier barrier(shards);
   std::vector<std::uint64_t> drained(shards, 0);
   std::vector<std::uint64_t> violations(shards, 0);
@@ -112,41 +102,67 @@ sim::SimTime ShardEngine::run(sim::SimTime horizon, bool serialize_all) {
   std::mutex error_mutex;
   std::exception_ptr error;
 
-  // Runs serially under the barrier: finish the previous round's gate,
-  // then plan the next window.
+  // Runs serially under the barrier (the other workers are parked):
+  // play every pending border INSTANT through the gate, then plan the
+  // next parallel drain segment. Unlike the PR-9 window machinery —
+  // which, once a window contained any border event, serialized the
+  // window's whole tail — the gate here executes only one clock
+  // instant at a time (every event AT the earliest border time, in
+  // canonical cross-shard order), and control returns to the parallel
+  // drains the moment a border-free prefix reappears. Interior events
+  // between two border instants therefore drain concurrently, which
+  // is where the parallel fraction comes from (DESIGN.md §5k).
+  //
+  // Gate code is arbitrary protocol code; an exception here must not
+  // strand the other workers in the barrier, so it is trapped exactly
+  // like a drain-side failure.
   auto replan = [&] {
-    if (!first && plan.gate) run_gate(plan.gate_bound);
-    first = false;
     if (failed.load(std::memory_order_relaxed)) {
       plan.done = true;
       return;
     }
-    sim::SimTime next = sim::SimTime::infinity();
-    for (sim::Scheduler* s : scheds_) {
-      if (s->has_next()) next = std::min(next, s->next_time());
-    }
-    if (!(next < bound)) {
+    try {
+      for (;;) {
+        sim::SimTime next = sim::SimTime::infinity();
+        for (sim::Scheduler* s : scheds_) {
+          if (s->has_next()) next = std::min(next, s->next_time());
+        }
+        if (!(next < bound)) {
+          plan.done = true;
+          return;
+        }
+        if (serialize_all) {
+          ++stats_.gate_rounds;
+          run_gate(bound);
+          continue;  // drains everything; next pass observes done
+        }
+        sim::SimTime gate_at = sim::SimTime::infinity();
+        sim::EventKey bk;
+        for (sim::Scheduler* s : scheds_) {
+          if (s->next_border(bk)) gate_at = std::min(gate_at, bk.at);
+        }
+        if (gate_at <= next) {
+          // No drainable border-free prefix: serialize this one
+          // instant (border events plus any same-instant interiors —
+          // same-time cross-shard interaction is real, so the whole
+          // instant replays in canonical order), then re-plan; runs of
+          // consecutive border instants gate back-to-back without
+          // releasing the barrier.
+          ++stats_.gate_rounds;
+          run_gate(sim::SimTime{std::nextafter(
+              gate_at.seconds(), std::numeric_limits<double>::infinity())});
+          continue;
+        }
+        ++stats_.rounds;
+        plan.drain_bound = std::min({gate_at, next + lookahead_, bound});
+        return;
+      }
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
       plan.done = true;
-      return;
     }
-    ++stats_.rounds;
-    if (serialize_all) {
-      plan.gate = true;
-      ++stats_.gate_rounds;
-      plan.drain_bound = sim::SimTime::zero();  // drain nothing
-      plan.gate_bound = bound;
-      return;
-    }
-    const sim::SimTime window_end = std::min(next + lookahead_, bound);
-    sim::SimTime gate_at = sim::SimTime::infinity();
-    sim::EventKey bk;
-    for (sim::Scheduler* s : scheds_) {
-      if (s->next_border(bk)) gate_at = std::min(gate_at, bk.at);
-    }
-    plan.gate = gate_at < window_end;
-    plan.gate_bound = window_end;
-    plan.drain_bound = plan.gate ? gate_at : window_end;
-    if (plan.gate) ++stats_.gate_rounds;
   };
 
   auto worker = [&](std::size_t s) {

@@ -19,18 +19,23 @@
 //     is forced into the gate by border-tagging the delivery that
 //     solicits it (Channel::transmit).
 //
-// Round structure: one ReductionBarrier per round. The last worker to
-// arrive (serially, under the barrier) first executes the previous
-// window's gate — every event below the gate bound, merged across
-// shards in ascending canonical EventKey order, i.e. exactly the order
-// the single-shard engine would use — then plans the next window
-// [K, min(K + lookahead, horizon)). If any border event fires inside
-// the window, the window is truncated at the earliest one and the gate
-// takes over from there; otherwise the whole window drains in parallel,
-// each shard running its local events in canonical order. Because
-// same-window cross-shard events are causally independent (invariants
-// 2+3), the parallel drain commutes with the canonical order — the
-// observable execution is bit-identical to the single-shard engine.
+// Round structure: one ReductionBarrier per drain round. The last
+// worker to arrive (serially, under the barrier) alternates two moves
+// until a parallel drain is possible: while the globally-earliest
+// pending event is (or ties with) a border event, it gates that ONE
+// clock instant — every event AT the earliest border time, merged
+// across shards in ascending canonical EventKey order, exactly the
+// order the single-shard engine would use — and re-plans; once a
+// border-free prefix exists, it plans the drain segment
+// [K, min(first border time, K + lookahead, horizon)) and releases
+// the workers to drain their shards in parallel, each in local
+// canonical order. Border instants serialize; everything between them
+// drains concurrently (PR-9 serialized a gated window's entire tail
+// instead — see DESIGN.md §5k for the delta and the proof sketch).
+// Because same-segment cross-shard events are causally independent
+// (invariants 2+3), the parallel drain commutes with the canonical
+// order — the observable execution is bit-identical to the
+// single-shard engine.
 //
 // serialize_all runs every event through the gate (used when arbitrary
 // shared state is attached: adversary co-ordination, channel taps,
@@ -52,8 +57,8 @@ class ShardEngine {
   /// Window/gate occupancy of the last run (how much parallelism the
   /// lookahead actually exposed).
   struct Stats {
-    std::uint64_t rounds = 0;          ///< lookahead windows advanced
-    std::uint64_t gate_rounds = 0;     ///< windows needing a serialized gate
+    std::uint64_t rounds = 0;          ///< parallel drain segments run
+    std::uint64_t gate_rounds = 0;     ///< border instants serialized
     std::uint64_t gate_events = 0;     ///< events executed inside gates
     std::uint64_t parallel_events = 0; ///< events executed in drains
     /// Drained events that left a border event pending below their own

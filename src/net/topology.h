@@ -57,6 +57,13 @@ class Topology {
   [[nodiscard]] std::size_t min_degree() const;
   [[nodiscard]] std::size_t edge_count() const { return csr_flat_.size() / 2; }
 
+  /// Heap bytes held by the deployment (positions + CSR adjacency).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return positions_.capacity() * sizeof(Point) +
+           csr_offsets_.capacity() * sizeof(std::uint32_t) +
+           csr_flat_.capacity() * sizeof(NodeId);
+  }
+
   /// True iff the graph is connected (BFS from node 0).
   [[nodiscard]] bool connected() const;
 

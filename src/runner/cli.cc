@@ -82,8 +82,15 @@ bool parse_cli(int argc, char** argv, RunnerOptions& options, std::string& error
     }
   }
   if (const char* env = std::getenv("ICPDA_SHARDS")) {
+    // Reject garbage loudly: a typo'd shard count silently running the
+    // single engine would invalidate every scaling number downstream.
     unsigned long long s = 0;
-    if (parse_uint(env, s) && s > 0) options.shards = static_cast<std::size_t>(s);
+    if (!parse_uint(env, s) || s == 0) {
+      error = std::string("ICPDA_SHARDS: expected a positive integer, got '") +
+              env + "'";
+      return false;
+    }
+    options.shards = static_cast<std::size_t>(s);
   }
   for (int i = 1; i < argc; ++i) {
     std::string value;

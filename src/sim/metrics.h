@@ -206,6 +206,24 @@ class MetricRegistry {
   /// Human-readable dump (used by examples and debugging).
   void print(std::ostream& os) const;
 
+  /// Approximate heap bytes held (map nodes + heap-allocated names).
+  /// Node overhead is estimated at 48 bytes (rb-tree color/parent/
+  /// children plus allocator rounding) — advisory accounting for the
+  /// footprint probe, not an allocator audit.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    constexpr std::size_t kNode = 48;
+    std::size_t bytes = 0;
+    for (const auto& [k, v] : counters_) {
+      bytes += kNode + sizeof(std::string) + sizeof(v);
+      if (k.capacity() > sizeof(std::string)) bytes += k.capacity() + 1;
+    }
+    for (const auto& [k, v] : stats_) {
+      bytes += kNode + sizeof(std::string) + sizeof(v);
+      if (k.capacity() > sizeof(std::string)) bytes += k.capacity() + 1;
+    }
+    return bytes;
+  }
+
  private:
   /// Memo of one resolved counter per slot: the map key (for the
   /// content check) and its value cell. std::map nodes are stable, so

@@ -34,6 +34,7 @@
 // pop) — never during heap maintenance.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -48,29 +49,89 @@ namespace icpda::sim {
 /// gate it sorts after every real node.
 inline constexpr std::uint32_t kNoEventOwner = 0xFFFFFFFFu;
 
+/// Immutable record of one DISPATCHED event's ordering coordinates,
+/// kept alive (refcounted spaghetti stack) while any pending
+/// descendant might still need it for the sharded gate's cross-shard
+/// FIFO reconstruction (lineage_cmp below). A node is created lazily,
+/// at most once per dispatch, the first time the dispatch schedules a
+/// child under parentage tracking; it is freed when the last pending
+/// descendant referencing the chain fires or is cancelled.
+///
+/// Chains are depth-capped (kMaxLineageDepth): the node that would
+/// exceed the cap keeps its own (sched_at, intra) but drops the parent
+/// pointer, carries kTruncated, and RESTARTS the chain at depth 0 — so
+/// every event always has its most recent <= kMaxLineageDepth
+/// generations of history and only comparisons that need to look past
+/// a cut report "undecided" (counted in LineageCmpStats; the deepest
+/// walk ever observed is ~13 levels, so at 4096 the cap is pure
+/// memory insurance). Without the cap, a long-lived self-rescheduling
+/// event line would pin its entire causal history in memory.
+struct Lineage {
+  static constexpr std::uint8_t kRoot = 1;       ///< dispatched event was
+                                                 ///< install-scheduled
+  static constexpr std::uint8_t kTruncated = 2;  ///< chain cut at depth cap
+  SimTime sched_at;        ///< when the dispatched event was scheduled
+  Lineage* parent;         ///< dispatch that scheduled it (null: root/cut)
+  std::atomic<std::uint32_t> refs;
+  std::uint32_t intra;     ///< index within ITS parent (root: install seq)
+  std::uint16_t depth;
+  std::uint8_t flags;
+  [[nodiscard]] bool truncated() const { return (flags & kTruncated) != 0; }
+};
+
+inline constexpr std::uint16_t kMaxLineageDepth = 4096;
+
+/// Drop one reference to `n`'s chain, freeing nodes whose last
+/// reference this was. Safe from any thread (the sharded engine's
+/// drains release chains concurrently).
+void lineage_release(Lineage* n);
+
+/// Relative single-heap FIFO order of two events that tie at
+/// (fire time, schedule time), reconstructed from their parent
+/// dispatch chains: tied children fire in their parents' dispatch
+/// order (then by intra-dispatch index), parents tied at the same
+/// instant recurse to grandparents, and chains that bottom out at
+/// install-scheduled roots compare by the global install sequence.
+/// Events scheduled outside any dispatch sort AFTER runtime-scheduled
+/// events at a full tie (the legacy +infinity-ancestor rule). Returns
+/// <0, 0, >0; 0 means undecided (a chain was cut at the depth cap) —
+/// callers fall back to the owner id.
+[[nodiscard]] int lineage_cmp(const Lineage* a, std::uint32_t ia,
+                              const Lineage* b, std::uint32_t ib);
+
+/// Observability for the gate comparator (process-wide, relaxed
+/// atomics): the deepest chain walk any comparison needed, and how
+/// many comparisons came back undecided (chain cut at the depth cap).
+/// Tests assert undecided == 0 at pinned sizes so a cap that is
+/// silently too small shows up as a counter, not as a mystery
+/// divergence (it did once — see DESIGN.md §5k).
+struct LineageCmpStats {
+  std::uint32_t max_walk = 0;   ///< deepest levels walked by one compare
+  std::uint64_t undecided = 0;  ///< compares that fell back to owner id
+  std::uint64_t live = 0;       ///< lineage nodes currently allocated
+  std::uint64_t peak = 0;       ///< high-water mark of live nodes
+  std::uint32_t max_depth = 0;  ///< deepest chain ever built
+};
+[[nodiscard]] LineageCmpStats lineage_cmp_stats();
+void reset_lineage_cmp_stats();
+
 /// Canonical ordering key of a scheduled event. `operator<` is the
 /// scheduler-local dispatch order: (fire time, schedule time, seq) —
 /// seq is FIFO schedule order and breaks every tie; the remaining
 /// fields ride along as metadata. Across schedulers seq counters are
 /// incomparable, so the sharded engine's gate orders a (fire time,
-/// schedule time) tie by PARENTAGE instead: two tied events were
-/// scheduled by dispatches at the same clock instant, and those parent
-/// dispatches executed in (their own schedule time = anc2, owner)
-/// order — so (anc2, parent_owner, intra, owner) reconstructs the
-/// single-heap FIFO order one causal level deep, falling back to the
-/// owner id (engine-independent, and equal to FIFO at the known batch
-/// sites, which iterate ascending) only when the parents tied too.
+/// schedule time) tie by PARENTAGE instead — see lineage_cmp and
+/// canonical_cross_before.
 struct EventKey {
   SimTime at;        ///< fire time
   SimTime sched_at;  ///< clock value when the event was scheduled
   std::uint32_t owner = kNoEventOwner;  ///< owning node id (metadata)
   std::uint64_t seq = 0;                ///< scheduler-local schedule order
-  /// Schedule time of the PARENT event (the dispatch that scheduled
-  /// this one); +infinity when scheduled outside any dispatch (setup
-  /// code between runs — FIFO-last at a tie, matching seq order).
-  SimTime anc2 = SimTime::infinity();
-  std::uint32_t parent_owner = kNoEventOwner;
+  /// Parent dispatch chain (null: scheduled outside any dispatch).
+  /// Borrowed, not owned: valid only while the event is pending.
+  const Lineage* parent = nullptr;
   std::uint32_t intra = 0;  ///< schedule index within the parent dispatch
+                            ///< (global install seq when parent is null)
 
   [[nodiscard]] friend bool operator<(const EventKey& a, const EventKey& b) {
     if (a.at != b.at) return a.at < b.at;
@@ -79,9 +140,20 @@ struct EventKey {
   }
 };
 
+/// Engine-independent canonical order between events of DIFFERENT
+/// schedulers (the sharded gate's merge order): (fire time, schedule
+/// time), then exact single-heap FIFO via lineage_cmp, with the owner
+/// id as the final fallback for chains cut at the depth cap. Within
+/// one scheduler EventKey::operator< (seq FIFO) is the same order.
+[[nodiscard]] bool canonical_cross_before(const EventKey& a,
+                                          const EventKey& b);
+
 class Scheduler {
  public:
   Scheduler() = default;
+  /// Releases the lineage references of still-pending events (tracked
+  /// schedulers only; untracked destruction stays trivial).
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -137,8 +209,7 @@ class Scheduler {
   [[nodiscard]] EventKey next_key() const {
     const HeapEntry& e = heap_.front();
     const Ext& x = ext_[e.slot];
-    return EventKey{e.at,   x.sched_at,     e.owner, e.seq,
-                    x.anc2, x.parent_owner, x.intra};
+    return EventKey{e.at, x.sched_at, e.owner, e.seq, x.parent, x.intra};
   }
   /// Canonical key of the earliest still-pending border event; false
   /// when none. Prunes fired/cancelled index entries lazily.
@@ -167,7 +238,19 @@ class Scheduler {
   /// observational — attaching a tracer never changes event order.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
-  /// Enable parentage tracking (EventKey::anc2/parent_owner/intra).
+  /// Heap bytes held by the event storage (slot slabs, heap, border
+  /// index) — capacity-based, so it reports high-water footprint, not
+  /// the instantaneous queue depth. Feeds the footprint probe
+  /// (analysis/footprint_main.cc).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return meta_.capacity() * sizeof(Meta) + fns_.capacity() * sizeof(EventFn) +
+           ext_.capacity() * sizeof(Ext) +
+           free_slots_.capacity() * sizeof(std::uint32_t) +
+           heap_.capacity() * sizeof(HeapEntry) +
+           border_.capacity() * sizeof(BorderEntry);
+  }
+
+  /// Enable parentage tracking (EventKey::parent/intra lineage).
   /// Those fields are consumed ONLY by the sharded engine's gate
   /// tie-break, yet maintaining them costs a thread-local context
   /// save/restore per dispatch plus a side-table write per schedule —
@@ -217,17 +300,18 @@ class Scheduler {
   };
 
   /// Non-comparison key fields per slot: the schedule time plus the
-  /// parentage metadata (EventKey::anc2/parent_owner/intra). Kept OUT
-  /// of HeapEntry — the heap comparator never reads any of it (see
+  /// parentage metadata (EventKey::parent/intra). Kept OUT of
+  /// HeapEntry — the heap comparator never reads any of it (see
   /// before()), so the hot sift path keeps its compact 24-byte
   /// records; pop reads sched_at once, and the gate gathers the rest
   /// once per peek via next_key(). Written (and read) ONLY under
   /// track_parentage_ — untracked schedulers keep the slab allocated
-  /// but untouched.
+  /// but untouched. A non-null `parent` OWNS one reference on the
+  /// chain, released when the slot fires (transferred to the dispatch
+  /// context) or is cancelled/reset (lineage_release).
   struct Ext {
     SimTime sched_at = SimTime::zero();
-    SimTime anc2 = SimTime::infinity();
-    std::uint32_t parent_owner = kNoEventOwner;
+    Lineage* parent = nullptr;
     std::uint32_t intra = 0;
   };
 
@@ -262,11 +346,16 @@ class Scheduler {
   /// Release a slot back to the free list, bumping its generation.
   void release(std::uint32_t slot);
 
-  /// A popped, not-yet-dispatched event.
+  /// A popped, not-yet-dispatched event. Under parentage tracking it
+  /// holds the slot's lineage reference (transferred, not copied);
+  /// dispatch_tracked hands it on to the dispatch context, which
+  /// releases it when the dispatch completes.
   struct Popped {
     SimTime at;
     SimTime sched_at;
     std::uint32_t owner;
+    std::uint32_t intra;
+    Lineage* parent;
     EventId id;
     EventFn fn;
   };

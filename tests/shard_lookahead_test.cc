@@ -39,6 +39,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
@@ -254,6 +255,150 @@ TEST(ShardLookaheadTest, RandomizedBorderAdversarialSweep) {
   }
   // The sweep must be exercising real work, not vacuous empty programs.
   EXPECT_GT(total_fired, cases * 10);
+}
+
+// Micro-instant gating, hand-adversarial: border and interior events
+// stacked on one IDENTICAL timestamp across both shards, zero-delay
+// border chains extending the gated instant onto the other shard, and
+// interior followers inside the same lookahead window. 64 variants
+// permute which shard hosts the root, whether a second border event
+// ties at the instant, owner-id assignment, and installation order
+// (which varies every seq tie-break) — the per-shard dispatch logs
+// must be identical between the windowed run and the fully serialized
+// gate regardless, and the engine's gate/parallel split must account
+// for every fired event.
+TEST(ShardLookaheadTest, SameInstantInteriorBorderInterleavings) {
+  runner::ThreadPool pool(4);
+  const sim::SimTime t0 = kLookahead * 4.0;
+  const sim::SimTime quarter = kLookahead * 0.25;
+
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    const std::size_t root_shard = v & 1;
+    const std::size_t other = 1 - root_shard;
+    const bool tie_border_other = (v & 2) != 0;
+    const bool owners_inverted = (v & 4) != 0;
+    const std::uint32_t perm = (v >> 3) % 6;
+
+    // mode 0: engine, parallel windows; 1: engine, serialize_all;
+    // 2: plain single scheduler (exactly-once oracle).
+    auto run_program = [&](int mode, std::uint64_t* accounted)
+        -> std::vector<std::vector<std::string>> {
+      std::vector<std::vector<std::string>> logs(2);
+      std::vector<sim::Scheduler> scheds(mode == 2 ? 1 : 2);
+      std::vector<sim::Scheduler*> raw;
+      for (auto& s : scheds) raw.push_back(&s);
+      auto sched_of = [&raw](std::size_t shard) -> sim::Scheduler& {
+        return *raw[raw.size() == 1 ? 0 : shard];
+      };
+      auto owner = [owners_inverted](std::size_t shard, std::uint32_t i) {
+        return static_cast<std::uint32_t>(shard * 4096 +
+                                          (owners_inverted ? 100 - i : i));
+      };
+
+      // Group A: root border event; from the gate it extends the
+      // instant with a same-instant border child on the OTHER shard,
+      // which drops a same-instant interior grandchild there plus an
+      // in-window interior follower back home.
+      auto install_a = [&] {
+        sched_of(root_shard).at(
+            t0,
+            [&logs, &sched_of, owner, root_shard, other, t0, quarter] {
+              logs[root_shard].push_back("A");
+              sched_of(other).advance_to(t0);
+              sched_of(other).at(
+                  t0,
+                  [&logs, &sched_of, owner, other, t0] {
+                    logs[other].push_back("A.b");
+                    sched_of(other).at(
+                        t0, [&logs, other] { logs[other].push_back("A.b.i"); },
+                        owner(other, 3), false);
+                  },
+                  owner(other, 2), true);
+              sched_of(root_shard).at(
+                  t0 + quarter,
+                  [&logs, root_shard] { logs[root_shard].push_back("A.f"); },
+                  owner(root_shard, 4), false);
+            },
+            owner(root_shard, 1), true);
+      };
+      // Group B: interior events tying the gated instant on BOTH
+      // shards (they must drain inside the gate, in canonical order),
+      // optionally plus a second border event tying on the other shard.
+      auto install_b = [&] {
+        sched_of(root_shard).at(
+            t0, [&logs, root_shard] { logs[root_shard].push_back("B0"); },
+            owner(root_shard, 10), false);
+        sched_of(other).at(
+            t0, [&logs, other] { logs[other].push_back("B1"); },
+            owner(other, 11), false);
+        if (tie_border_other) {
+          sched_of(other).at(
+              t0, [&logs, other] { logs[other].push_back("B2"); },
+              owner(other, 12), true);
+        }
+      };
+      // Group C: interior followers strictly inside the same window.
+      auto install_c = [&] {
+        sched_of(root_shard).at(
+            t0 + quarter,
+            [&logs, root_shard] { logs[root_shard].push_back("C0"); },
+            owner(root_shard, 20), false);
+        sched_of(other).at(
+            t0 + quarter * 3.0,
+            [&logs, other] { logs[other].push_back("C1"); },
+            owner(other, 21), false);
+      };
+
+      // Permute installation order: every order assigns different
+      // scheduler seqs, so same-instant ties are broken differently
+      // unless the gate's canonical order is genuinely seq-exact.
+      const std::array<std::array<int, 3>, 6> perms{{{0, 1, 2},
+                                                     {0, 2, 1},
+                                                     {1, 0, 2},
+                                                     {1, 2, 0},
+                                                     {2, 0, 1},
+                                                     {2, 1, 0}}};
+      for (const int g : perms[perm]) {
+        if (g == 0) install_a();
+        if (g == 1) install_b();
+        if (g == 2) install_c();
+      }
+
+      if (mode == 2) {
+        scheds[0].run();
+      } else {
+        ShardEngine engine(raw, kLookahead, pool);
+        engine.run(sim::SimTime::infinity(), /*serialize_all=*/mode == 1);
+        EXPECT_EQ(engine.stats().lookahead_violations, 0u);
+        if (accounted != nullptr) {
+          *accounted =
+              engine.stats().gate_events + engine.stats().parallel_events;
+        }
+      }
+      return logs;
+    };
+
+    SCOPED_TRACE("variant " + std::to_string(v));
+    std::uint64_t accounted = 0;
+    const auto par = run_program(0, &accounted);
+    const auto ser = run_program(1, nullptr);
+    const auto ref = run_program(2, nullptr);
+
+    // Strategy independence, exactly: per-shard logs identical between
+    // windowed and fully serialized execution.
+    ASSERT_EQ(par[0], ser[0]);
+    ASSERT_EQ(par[1], ser[1]);
+    // Exactly-once vs the single scheduler (same per-shard multisets).
+    for (std::size_t s = 0; s < 2; ++s) {
+      auto a = par[s];
+      auto b = ref[s];
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << "shard " << s;
+    }
+    // The engine's own accounting covers every dispatched event.
+    ASSERT_EQ(accounted, par[0].size() + par[1].size());
+  }
 }
 
 // Engine construction contracts: misuse fails fast, loudly.

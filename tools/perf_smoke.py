@@ -3,9 +3,11 @@
 
 Runs bench_micro (google-benchmark JSON output), extracts the DES
 substrate + protocol hot-path kernels, and compares them against the
-checked-in baselines (BENCH_PR8.json for the single-engine kernels
-plus BENCH_PR9.json for the sharded-engine kernels; the older
-BENCH_PR4/PR7 files are kept as history), printing a per-kernel
+checked-in baselines (BENCH_PR8.json for the single-engine kernels,
+BENCH_PR10.json for the sharded-engine kernels under the
+micro-instant gate + tile plan; BENCH_PR4/PR7/PR9 are kept as
+history — PR9 carried the same sharded kernels pre-§5k, and a kernel
+may live in only one active baseline), printing a per-kernel
 wall-clock delta. The step is advisory by default (exit 0 regardless
 of deltas): CI runners have noisy clocks, so timing regressions are
 flagged for a human, not gated. Pass --max-regress PCT to turn it
@@ -43,7 +45,7 @@ DEFAULT_FILTER = (
     "BM_Prf64|BM_LinkKeyBatch"
 )
 
-DEFAULT_BASELINES = ["BENCH_PR8.json", "BENCH_PR9.json"]
+DEFAULT_BASELINES = ["BENCH_PR8.json", "BENCH_PR10.json"]
 
 # cur < base / SUSPICIOUS_SPEEDUP is treated as "too good to be true".
 SUSPICIOUS_SPEEDUP = 10.0
